@@ -1,0 +1,52 @@
+// Command damaris-bench regenerates the paper's tables and figures from the
+// simulated platforms, printing paper-reported values next to measured ones.
+//
+// Usage:
+//
+//	damaris-bench                  # run every experiment
+//	damaris-bench -experiment fig2 # one experiment
+//	damaris-bench -list            # list experiment IDs
+//	damaris-bench -seed 7          # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"damaris/internal/experiment"
+)
+
+func main() {
+	var (
+		id   = flag.String("experiment", "all", "experiment ID to run, or 'all'")
+		seed = flag.Int64("seed", 42, "deterministic seed for all experiments")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiment.IDs(), "\n"))
+		return
+	}
+
+	if *id == "all" {
+		tables, err := experiment.RunAll(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		return
+	}
+
+	t, err := experiment.Run(*id, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t.Render())
+}

@@ -1,0 +1,144 @@
+// Command damaris-run executes the real middleware pipeline: the CM1-like
+// mini-app on an in-process MPI world with one dedicated I/O core per node,
+// writing DSF files through Damaris — or through the file-per-process /
+// collective baselines for comparison.
+//
+// Usage:
+//
+//	damaris-run -ranks 12 -cores-per-node 4 -steps 20 -output-every 5 -out /tmp/out
+//	damaris-run -backend fpp ...
+//	damaris-run -backend collective ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"damaris/internal/cm1"
+	"damaris/internal/config"
+	"damaris/internal/core"
+	"damaris/internal/dsf"
+	"damaris/internal/mpi"
+	"damaris/internal/stats"
+)
+
+func main() {
+	var (
+		ranks        = flag.Int("ranks", 12, "total ranks (cores) in the world")
+		coresPerNode = flag.Int("cores-per-node", 4, "SMP node width")
+		steps        = flag.Int("steps", 20, "simulation timesteps")
+		outputEvery  = flag.Int("output-every", 5, "write phase every K steps")
+		outDir       = flag.String("out", "damaris-out", "output directory")
+		backend      = flag.String("backend", "damaris", "damaris | fpp | collective")
+		compress     = flag.Bool("compress", false, "gzip chunks (damaris and fpp)")
+		bufMB        = flag.Int64("buffer-mb", 64, "per-node shared buffer (MiB)")
+		allocator    = flag.String("allocator", "mutex", "shared-memory allocator: mutex | lockfree")
+	)
+	flag.Parse()
+
+	if err := run(*ranks, *coresPerNode, *steps, *outputEvery, *outDir,
+		*backend, *compress, *bufMB, *allocator); err != nil {
+		fmt.Fprintln(os.Stderr, "damaris-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
+	compress bool, bufMB int64, allocator string) error {
+	if ranks%coresPerNode != 0 {
+		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
+	}
+	nodes := ranks / coresPerNode
+	computeRanks := ranks
+	if backend == "damaris" {
+		computeRanks = ranks - nodes // one dedicated core per node
+	}
+	params := cm1.DefaultParams(computeRanks, 1)
+
+	codec := dsf.None
+	if compress {
+		codec = dsf.ShuffleGzip
+	}
+
+	var mu sync.Mutex
+	var phaseTimes []float64
+	var serverWrite []float64
+	var serverSpare []float64
+	var bytesWritten int64
+
+	var cfg *config.Config
+	if backend == "damaris" {
+		var err error
+		cfg, err = config.ParseString(cm1.ConfigXML(params, bufMB<<20, allocator, 1))
+		if err != nil {
+			return err
+		}
+	}
+
+	err := mpi.Run(ranks, coresPerNode, func(comm *mpi.Comm) {
+		var b cm1.Backend
+		var computeComm *mpi.Comm
+
+		switch backend {
+		case "damaris":
+			pers := &core.DSFPersister{Dir: outDir, Codec: codec, Node: comm.Node(), ServerID: comm.Rank()}
+			dep, err := core.Deploy(comm, cfg, nil, core.Options{OutputDir: outDir, Persister: pers})
+			if err != nil {
+				panic(err)
+			}
+			if !dep.IsClient() {
+				if err := dep.Server.Run(); err != nil {
+					panic(err)
+				}
+				mu.Lock()
+				serverWrite = append(serverWrite, dep.Server.WriteTimes()...)
+				serverSpare = append(serverSpare, dep.Server.SpareSeconds())
+				bytesWritten += dep.Server.BytesWritten()
+				mu.Unlock()
+				return
+			}
+			computeComm = dep.ClientComm
+			b = cm1.NewDamarisBackend(dep.Client)
+		case "fpp":
+			computeComm = comm
+			b = cm1.NewFPPBackend(outDir, codec, comm.Rank())
+		case "collective":
+			computeComm = comm
+			b = cm1.NewCollectiveBackend(outDir, comm)
+		default:
+			panic(fmt.Sprintf("unknown backend %q", backend))
+		}
+
+		sim, err := cm1.New(computeComm, params)
+		if err != nil {
+			panic(err)
+		}
+		rep, err := cm1.Run(sim, b, steps, outputEvery)
+		if err != nil {
+			panic(err)
+		}
+		if err := b.Close(); err != nil {
+			panic(err)
+		}
+		mu.Lock()
+		phaseTimes = append(phaseTimes, rep.WriteSeconds...)
+		mu.Unlock()
+	})
+	if err != nil {
+		return err
+	}
+
+	ps := stats.Summarize(phaseTimes)
+	fmt.Printf("backend=%s ranks=%d nodes=%d steps=%d\n", backend, ranks, nodes, steps)
+	fmt.Printf("client write phases: n=%d mean=%.2gs min=%.2gs max=%.2gs (spread %.2gs)\n",
+		ps.N, ps.Mean, ps.Min, ps.Max, ps.Spread())
+	if backend == "damaris" {
+		ws := stats.Summarize(serverWrite)
+		fmt.Printf("dedicated cores: %d flushes, write mean=%.2gs; spare total=%.2gs; %d bytes persisted\n",
+			ws.N, ws.Mean, stats.Mean(serverSpare), bytesWritten)
+	}
+	fmt.Printf("output in %s\n", outDir)
+	return nil
+}

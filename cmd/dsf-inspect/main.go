@@ -1,0 +1,105 @@
+// Command dsf-inspect lists, verifies and dumps DSF files written by the
+// Damaris persistency layer or the baseline writers.
+//
+// Usage:
+//
+//	dsf-inspect file.dsf             # list chunks and attributes
+//	dsf-inspect -verify file.dsf     # checksum-verify every chunk
+//	dsf-inspect -stats file.dsf      # per-chunk min/max/mean for float data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"damaris/internal/dsf"
+	"damaris/internal/layout"
+	"damaris/internal/mpi"
+)
+
+func main() {
+	var (
+		verify = flag.Bool("verify", false, "verify every chunk's checksum and decodability")
+		stat   = flag.Bool("stats", false, "print min/max/mean of floating-point chunks")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dsf-inspect [-verify] [-stats] file.dsf...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := inspect(path, *verify, *stat); err != nil {
+			fmt.Fprintf(os.Stderr, "dsf-inspect: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func inspect(path string, verify, stat bool) error {
+	r, err := dsf.Open(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	fmt.Printf("%s:\n", path)
+	attrs := r.Attributes()
+	for k, v := range attrs {
+		fmt.Printf("  attr %s = %q\n", k, v)
+	}
+	var raw, stored int64
+	for i, m := range r.Chunks() {
+		fmt.Printf("  chunk %d: %s it=%d src=%d %v codec=%v %d->%d bytes",
+			i, m.Name, m.Iteration, m.Source, m.Layout, m.Codec, m.RawSize, m.Stored)
+		raw += m.RawSize
+		stored += m.Stored
+		if stat && (m.Layout.Type() == layout.Float32 || m.Layout.Type() == layout.Float64) {
+			data, err := r.ReadChunk(i)
+			if err != nil {
+				return err
+			}
+			mn, mx, mean := chunkStats(data, m.Layout.Type())
+			fmt.Printf(" min=%.4g max=%.4g mean=%.4g", mn, mx, mean)
+		}
+		fmt.Println()
+	}
+	if stored > 0 && raw != stored {
+		fmt.Printf("  total %d -> %d bytes (ratio %.0f%%)\n", raw, stored, 100*float64(raw)/float64(stored))
+	}
+	if verify {
+		if err := r.Verify(); err != nil {
+			return err
+		}
+		fmt.Println("  verify: ok")
+	}
+	return nil
+}
+
+func chunkStats(data []byte, t layout.Type) (mn, mx, mean float64) {
+	var xs []float64
+	if t == layout.Float32 {
+		for _, x := range mpi.BytesToFloat32s(data) {
+			xs = append(xs, float64(x))
+		}
+	} else {
+		xs = mpi.BytesToFloat64s(data)
+	}
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	mn, mx = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+		sum += x
+	}
+	return mn, mx, sum / float64(len(xs))
+}

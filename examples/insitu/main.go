@@ -1,0 +1,187 @@
+// insitu demonstrates the paper's §VI future-work direction: "a tight
+// coupling between running simulations and visualization engines, enabling
+// direct access to data by visualization engines (through the I/O cores)
+// while the simulation is running".
+//
+// A custom plugin registered on the dedicated core computes the storm's
+// maximum updraft *in situ* — on data still sitting in shared memory, every
+// iteration, without the simulation waiting and without touching the file
+// system. At the end, the per-node DSF outputs are reassembled into the
+// global temperature field and rendered as an ASCII contour map.
+//
+// Run with: go run ./examples/insitu
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"damaris/internal/cm1"
+	"damaris/internal/config"
+	"damaris/internal/core"
+	"damaris/internal/dsf"
+	"damaris/internal/layout"
+	"damaris/internal/mpi"
+	"damaris/internal/plugin"
+	"damaris/internal/viz"
+)
+
+const (
+	ranks        = 8
+	coresPerNode = 4
+	steps        = 16
+	outputEvery  = 4
+)
+
+func main() {
+	outDir, err := os.MkdirTemp("", "insitu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	computeRanks := ranks - ranks/coresPerNode
+	params := cm1.DefaultParams(computeRanks, 1)
+
+	// Extend the generated configuration with the in-situ analysis event:
+	// every client signals "analyze" after its writes; scope="global" makes
+	// the EPE run the action once per iteration, after all of the node's
+	// clients contributed.
+	xml := cm1.ConfigXML(params, 64<<20, "mutex", 1)
+	xml = xml[:len(xml)-len("</simulation>\n")] +
+		"  <event name=\"analyze\" action=\"updraft\" scope=\"global\"/>\n</simulation>\n"
+	cfg, err := config.ParseString(xml)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The in-situ plugin: assemble this node's w chunks from shared memory
+	// and record the strongest updraft.
+	type updraft struct {
+		it    int64
+		value float32
+	}
+	var mu sync.Mutex
+	var series []updraft
+	reg := plugin.NewRegistry()
+	reg.MustRegister("updraft", func(ctx *plugin.Context, ev string) error {
+		var chunks []viz.Chunk
+		for _, e := range ctx.Store.Iteration(ctx.Iteration) {
+			if e.Key.Name != "w" || !e.Global.Valid() {
+				continue
+			}
+			chunks = append(chunks, viz.Chunk{Global: e.Global, Data: mpi.BytesToFloat32s(e.Bytes())})
+		}
+		if len(chunks) == 0 {
+			return nil
+		}
+		field, err := viz.Assemble(chunks)
+		if err != nil {
+			return err
+		}
+		v, _ := viz.MaxUpdraft(field)
+		mu.Lock()
+		series = append(series, updraft{ctx.Iteration, v})
+		mu.Unlock()
+		return nil
+	})
+
+	err = mpi.Run(ranks, coresPerNode, func(comm *mpi.Comm) {
+		pers := &core.DSFPersister{Dir: outDir, Node: comm.Node(), ServerID: comm.Rank()}
+		dep, err := core.Deploy(comm, cfg, reg, core.Options{OutputDir: outDir, Persister: pers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !dep.IsClient() {
+			if err := dep.Server.Run(); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		sim, err := cm1.New(dep.ClientComm, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli := dep.Client
+		iteration := int64(0)
+		for step := 1; step <= steps; step++ {
+			sim.Step()
+			if step%outputEvery == 0 {
+				// Hand all fields to the dedicated core, then raise the
+				// analysis event *before* EndIteration: the EPE processes
+				// the queue in order, so the analysis sees the data while
+				// it is still in shared memory, before the flush drops it.
+				x0, y0 := sim.GlobalOffset()
+				nz, ny, nx := sim.LocalShape()
+				global := layout.Block{
+					Start: []int64{0, int64(y0), int64(x0)},
+					Count: []int64{int64(nz), int64(ny), int64(nx)},
+				}
+				for _, name := range cm1.VariableNames {
+					xs, err := sim.Field(name)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if err := cli.WriteBlock(name, iteration, mpi.Float32sToBytes(xs), global); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if err := cli.Signal("analyze", iteration); err != nil {
+					log.Fatal(err)
+				}
+				if err := cli.EndIteration(iteration); err != nil {
+					log.Fatal(err)
+				}
+				iteration++
+			}
+		}
+		if err := cli.Finalize(); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sort.Slice(series, func(i, j int) bool { return series[i].it < series[j].it })
+	fmt.Println("in-situ diagnostics computed on the dedicated cores (per node, per iteration):")
+	for _, u := range series {
+		fmt.Printf("  iteration %d: max updraft %.2f m/s\n", u.it, u.value)
+	}
+
+	// Offline pass: reassemble the final global temperature field from the
+	// per-node files and render it.
+	files, _ := filepath.Glob(filepath.Join(outDir, "*.dsf"))
+	var chunks []viz.Chunk
+	lastIt := int64(steps/outputEvery - 1)
+	for _, path := range files {
+		r, err := dsf.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, m := range r.Chunks() {
+			if m.Name != "theta" || m.Iteration != lastIt || m.Layout.Type() != layout.Float32 {
+				continue
+			}
+			raw, err := r.ReadChunk(i)
+			if err != nil {
+				log.Fatal(err)
+			}
+			chunks = append(chunks, viz.Chunk{Global: m.Global, Data: mpi.BytesToFloat32s(raw)})
+		}
+		r.Close()
+	}
+	field, err := viz.Assemble(chunks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := viz.ASCIIRender(field, 0, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mn, mx := field.MinMax()
+	fmt.Printf("\nglobal θ at surface level, iteration %d (range %.1f–%.1f K, %v grid):\n%s",
+		lastIt, mn, mx, field.Dims, img)
+}

@@ -1,0 +1,290 @@
+package cm1
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"damaris/internal/core"
+	"damaris/internal/dsf"
+	"damaris/internal/layout"
+	"damaris/internal/mpi"
+)
+
+// Backend is the pluggable I/O strategy of the mini-app. The paper compares
+// three: file-per-process (HDF5), collective I/O (pHDF5), and Damaris.
+// WritePhase is called with all ranks participating and returns only when
+// the simulation may resume computing — so its duration is the
+// client-visible I/O cost of the approach.
+type Backend interface {
+	// WritePhase outputs every variable for the iteration.
+	WritePhase(s *Sim, iteration int64) error
+	// Close flushes and releases the backend.
+	Close() error
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// ConfigXML generates the Damaris configuration for a run: one layout
+// matching the local subdomain and one variable per output field, matching
+// the paper's XML schema.
+func ConfigXML(p Params, bufferBytes int64, allocator string, dedicatedCores int) string {
+	xml := fmt.Sprintf("<simulation>\n  <buffer size=%q allocator=%q cores=%q/>\n"+
+		"  <layout name=\"subdomain\" type=\"real\" dimensions=\"%d,%d,%d\"/>\n",
+		fmt.Sprint(bufferBytes), allocator, fmt.Sprint(dedicatedCores),
+		p.NZ, p.LocalNY(), p.LocalNX())
+	for _, v := range VariableNames {
+		xml += fmt.Sprintf("  <variable name=%q layout=\"subdomain\"/>\n", v)
+	}
+	xml += "  <event name=\"cm1_stats\" action=\"stats\" scope=\"global\"/>\n"
+	xml += "</simulation>\n"
+	return xml
+}
+
+// DamarisBackend hands fields to the node's dedicated core through shared
+// memory; the write phase is a sequence of memcpys.
+type DamarisBackend struct {
+	cli *core.Client
+}
+
+// NewDamarisBackend wraps a deployed Damaris client.
+func NewDamarisBackend(cli *core.Client) *DamarisBackend {
+	return &DamarisBackend{cli: cli}
+}
+
+// Name implements Backend.
+func (b *DamarisBackend) Name() string { return "damaris" }
+
+// WritePhase implements Backend: one shared-memory write per variable plus
+// the end-of-iteration notification. No synchronization with other ranks.
+func (b *DamarisBackend) WritePhase(s *Sim, iteration int64) error {
+	x0, y0 := s.GlobalOffset()
+	nz, ny, nx := s.LocalShape()
+	global := layout.Block{
+		Start: []int64{0, int64(y0), int64(x0)},
+		Count: []int64{int64(nz), int64(ny), int64(nx)},
+	}
+	for _, name := range VariableNames {
+		xs, err := s.Field(name)
+		if err != nil {
+			return err
+		}
+		if err := b.cli.WriteBlock(name, iteration, mpi.Float32sToBytes(xs), global); err != nil {
+			return err
+		}
+	}
+	return b.cli.EndIteration(iteration)
+}
+
+// Close finalizes the Damaris client.
+func (b *DamarisBackend) Close() error { return b.cli.Finalize() }
+
+// FPPBackend is the file-per-process approach: every rank synchronously
+// writes its own DSF file each output phase. Compression may be enabled, as
+// the paper notes is possible with per-process HDF5.
+type FPPBackend struct {
+	Dir   string
+	Codec dsf.Codec
+	rank  int
+	files int
+}
+
+// NewFPPBackend creates a file-per-process writer rooted at dir.
+func NewFPPBackend(dir string, codec dsf.Codec, rank int) *FPPBackend {
+	return &FPPBackend{Dir: dir, Codec: codec, rank: rank}
+}
+
+// Name implements Backend.
+func (b *FPPBackend) Name() string { return "file-per-process" }
+
+// WritePhase implements Backend: open, write all variables, close — on the
+// simulation's critical path.
+func (b *FPPBackend) WritePhase(s *Sim, iteration int64) error {
+	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(b.Dir, fmt.Sprintf("rank%05d_it%06d.dsf", b.rank, iteration))
+	w, err := dsf.Create(path)
+	if err != nil {
+		return err
+	}
+	nz, ny, nx := s.LocalShape()
+	lay, err := layout.New(layout.Float32, int64(nz), int64(ny), int64(nx))
+	if err != nil {
+		w.Close()
+		return err
+	}
+	x0, y0 := s.GlobalOffset()
+	global := layout.Block{
+		Start: []int64{0, int64(y0), int64(x0)},
+		Count: []int64{int64(nz), int64(ny), int64(nx)},
+	}
+	for _, name := range VariableNames {
+		xs, ferr := s.Field(name)
+		if ferr != nil {
+			w.Close()
+			return ferr
+		}
+		meta := dsf.ChunkMeta{
+			Name: name, Iteration: iteration, Source: b.rank,
+			Layout: lay, Global: global, Codec: b.Codec,
+		}
+		if err := w.WriteChunk(meta, mpi.Float32sToBytes(xs)); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	b.files++
+	return w.Close()
+}
+
+// Files returns the number of files written.
+func (b *FPPBackend) Files() int { return b.files }
+
+// Close implements Backend.
+func (b *FPPBackend) Close() error { return nil }
+
+// CollectiveBackend models collective I/O (pHDF5 over MPI-IO): all ranks
+// synchronize, data funnels to aggregators (one per node, ROMIO-style
+// two-phase I/O), and the aggregators write a shared file per iteration.
+// The post-write barrier mirrors the collective close: nobody resumes
+// computing until the file is complete.
+type CollectiveBackend struct {
+	Dir  string
+	comm *mpi.Comm
+	agg  *mpi.Comm // aggregator subcommunicator (one rank per node), nil on others
+	node *mpi.Comm
+}
+
+// NewCollectiveBackend prepares the aggregation topology. Must be called by
+// every rank of comm.
+func NewCollectiveBackend(dir string, comm *mpi.Comm) *CollectiveBackend {
+	node := comm.SplitByNode()
+	color := -1
+	if node.Rank() == 0 {
+		color = 0
+	}
+	agg := comm.Split(color, comm.Rank())
+	return &CollectiveBackend{Dir: dir, comm: comm, agg: agg, node: node}
+}
+
+// Name implements Backend.
+func (b *CollectiveBackend) Name() string { return "collective" }
+
+// WritePhase implements Backend.
+func (b *CollectiveBackend) WritePhase(s *Sim, iteration int64) error {
+	// Collective open: every rank synchronizes.
+	b.comm.Barrier()
+
+	nz, ny, nx := s.LocalShape()
+	lay, err := layout.New(layout.Float32, int64(nz), int64(ny), int64(nx))
+	if err != nil {
+		return err
+	}
+	x0, y0 := s.GlobalOffset()
+
+	// Phase one: gather every rank's variables at the node aggregator.
+	type piece struct {
+		Name   string
+		Source int
+		X0, Y0 int
+		Data   []byte
+	}
+	var mine []piece
+	for _, name := range VariableNames {
+		xs, ferr := s.Field(name)
+		if ferr != nil {
+			return ferr
+		}
+		mine = append(mine, piece{Name: name, Source: s.comm.Rank(), X0: x0, Y0: y0,
+			Data: mpi.Float32sToBytes(xs)})
+	}
+	gathered := b.node.Gather(0, mine)
+
+	// Phase two: aggregators write the shared file (one per iteration; the
+	// file is logically shared, physically region-partitioned by node, like
+	// a striped pHDF5 file).
+	var werr error
+	if b.node.Rank() == 0 {
+		if err := os.MkdirAll(b.Dir, 0o755); err == nil {
+			path := filepath.Join(b.Dir, fmt.Sprintf("shared_it%06d_part%04d.dsf", iteration, b.agg.Rank()))
+			w, err := dsf.Create(path)
+			if err != nil {
+				werr = err
+			} else {
+				for _, raw := range gathered {
+					for _, pc := range raw.([]piece) {
+						meta := dsf.ChunkMeta{
+							Name: pc.Name, Iteration: iteration, Source: pc.Source,
+							Layout: lay,
+							Global: layout.Block{
+								Start: []int64{0, int64(pc.Y0), int64(pc.X0)},
+								Count: []int64{int64(nz), int64(ny), int64(nx)},
+							},
+						}
+						if err := w.WriteChunk(meta, pc.Data); err != nil {
+							werr = err
+							break
+						}
+					}
+				}
+				if err := w.Close(); err != nil && werr == nil {
+					werr = err
+				}
+			}
+		} else {
+			werr = err
+		}
+	}
+	// Collective close: every rank waits for the slowest writer.
+	b.comm.Barrier()
+	return werr
+}
+
+// Close implements Backend.
+func (b *CollectiveBackend) Close() error { return nil }
+
+// NullBackend performs no I/O — the paper's baseline C576 measurement
+// ("time of 50 iterations … without any I/O").
+type NullBackend struct{}
+
+// Name implements Backend.
+func (NullBackend) Name() string { return "no-io" }
+
+// WritePhase implements Backend.
+func (NullBackend) WritePhase(*Sim, int64) error { return nil }
+
+// Close implements Backend.
+func (NullBackend) Close() error { return nil }
+
+// PhaseReport is one rank's timing of a run.
+type PhaseReport struct {
+	ComputeSeconds float64
+	WriteSeconds   []float64 // one entry per output phase
+}
+
+// Run advances the simulation `steps` timesteps, performing an output phase
+// through the backend every `outputEvery` steps (and once at the end if the
+// last step isn't aligned). It returns this rank's timings.
+func Run(s *Sim, backend Backend, steps, outputEvery int) (PhaseReport, error) {
+	var rep PhaseReport
+	if outputEvery <= 0 {
+		outputEvery = steps + 1
+	}
+	iteration := int64(0)
+	for step := 1; step <= steps; step++ {
+		t0 := time.Now()
+		s.Step()
+		rep.ComputeSeconds += time.Since(t0).Seconds()
+		if step%outputEvery == 0 {
+			t1 := time.Now()
+			if err := backend.WritePhase(s, iteration); err != nil {
+				return rep, fmt.Errorf("cm1: write phase %d: %w", iteration, err)
+			}
+			rep.WriteSeconds = append(rep.WriteSeconds, time.Since(t1).Seconds())
+			iteration++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,294 @@
+package cm1
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"damaris/internal/config"
+	"damaris/internal/core"
+	"damaris/internal/dsf"
+	"damaris/internal/metadata"
+	"damaris/internal/mpi"
+)
+
+func parseConfig(xml string) (*config.Config, error) { return config.ParseString(xml) }
+
+func smallParams(px, py int) Params {
+	return Params{GlobalNX: 8 * px, GlobalNY: 8 * py, NZ: 4, PX: px, PY: py,
+		DT: 0.05, Kappa: 0.12, WorkFactor: 1}
+}
+
+func TestFPPBackendWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	err := mpi.Run(4, 4, func(c *mpi.Comm) {
+		s, err := New(c, smallParams(2, 2))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b := NewFPPBackend(dir, dsf.None, c.Rank())
+		rep, err := Run(s, b, 4, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(rep.WriteSeconds) != 2 {
+			t.Errorf("write phases = %d, want 2", len(rep.WriteSeconds))
+		}
+		if b.Files() != 2 {
+			t.Errorf("files = %d", b.Files())
+		}
+		_ = b.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks × 2 iterations = 8 files — the paper's metadata-storm shape.
+	files, _ := filepath.Glob(filepath.Join(dir, "rank*.dsf"))
+	if len(files) != 8 {
+		t.Fatalf("files on disk = %d, want 8", len(files))
+	}
+	r, err := dsf.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Chunks()) != len(VariableNames) {
+		t.Errorf("chunks = %d, want %d", len(r.Chunks()), len(VariableNames))
+	}
+	if err := r.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectiveBackendWritesSharedFiles(t *testing.T) {
+	dir := t.TempDir()
+	err := mpi.Run(8, 4, func(c *mpi.Comm) { // 2 nodes × 4 cores
+		s, err := New(c, smallParams(4, 2))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b := NewCollectiveBackend(dir, c)
+		if _, err := Run(s, b, 2, 2); err != nil {
+			t.Error(err)
+		}
+		_ = b.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shared file per node aggregator per iteration: 2 nodes × 1 iter.
+	files, _ := filepath.Glob(filepath.Join(dir, "shared_*.dsf"))
+	if len(files) != 2 {
+		t.Fatalf("files = %v", files)
+	}
+	// Together the parts must hold all 8 ranks × 5 variables.
+	total := 0
+	for _, f := range files {
+		r, err := dsf.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(r.Chunks())
+		if err := r.Verify(); err != nil {
+			t.Error(err)
+		}
+		r.Close()
+	}
+	if total != 8*len(VariableNames) {
+		t.Errorf("total chunks = %d, want %d", total, 8*len(VariableNames))
+	}
+}
+
+func TestDamarisBackendEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	p := smallParams(3, 1) // 3 compute ranks
+	cfgXML := ConfigXML(p, 8<<20, "mutex", 1)
+	cfg, err := config.ParseString(cfgXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &core.MemPersister{}
+	err = mpi.Run(4, 4, func(c *mpi.Comm) {
+		dep, err := core.Deploy(c, cfg, nil, core.Options{OutputDir: dir, Persister: mem})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !dep.IsClient() {
+			if err := dep.Server.Run(); err != nil {
+				t.Error(err)
+			}
+			return
+		}
+		// Clients form the compute communicator (3 ranks, 3x1 grid).
+		compute := dep.ClientComm
+		s, err := New(compute, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b := NewDamarisBackend(dep.Client)
+		rep, err := Run(s, b, 4, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(rep.WriteSeconds) != 2 {
+			t.Errorf("phases = %d", len(rep.WriteSeconds))
+		}
+		if err := b.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 clients × 5 variables × 2 iterations.
+	if mem.Len() != 3*5*2 {
+		t.Errorf("persisted datasets = %d, want 30", mem.Len())
+	}
+	// Every source wrote theta at iteration 1.
+	for src := 0; src < 3; src++ {
+		if _, ok := mem.Get(metadata.Key{Name: "theta", Iteration: 1, Source: src}); !ok {
+			t.Errorf("theta it=1 src=%d missing", src)
+		}
+	}
+}
+
+func TestDamarisVsFPPSameData(t *testing.T) {
+	// The bytes Damaris persists must equal what FPP would write.
+	dirFPP := t.TempDir()
+	p := smallParams(2, 1)
+	cfg, err := config.ParseString(ConfigXML(p, 8<<20, "mutex", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &core.MemPersister{}
+	err = mpi.Run(3, 3, func(c *mpi.Comm) {
+		dep, err := core.Deploy(c, cfg, nil, core.Options{Persister: mem})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !dep.IsClient() {
+			_ = dep.Server.Run()
+			return
+		}
+		compute := dep.ClientComm
+		s, err := New(compute, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		damaris := NewDamarisBackend(dep.Client)
+		fpp := NewFPPBackend(dirFPP, dsf.None, compute.Rank())
+		for step := 1; step <= 2; step++ {
+			s.Step()
+		}
+		if err := damaris.WritePhase(s, 0); err != nil {
+			t.Error(err)
+		}
+		if err := fpp.WritePhase(s, 0); err != nil {
+			t.Error(err)
+		}
+		_ = damaris.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dirFPP, "rank*.dsf"))
+	if len(files) != 2 {
+		t.Fatalf("fpp files = %d", len(files))
+	}
+	for _, f := range files {
+		r, err := dsf.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range r.Chunks() {
+			fppBytes, err := r.ReadChunk(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dam, ok := mem.Get(metadata.Key{Name: m.Name, Iteration: 0, Source: m.Source})
+			if !ok {
+				t.Fatalf("damaris missing %s src %d", m.Name, m.Source)
+			}
+			if string(dam) != string(fppBytes) {
+				t.Errorf("%s src %d: damaris and fpp bytes differ", m.Name, m.Source)
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestNullBackend(t *testing.T) {
+	err := mpi.Run(1, 1, func(c *mpi.Comm) {
+		s, _ := New(c, smallParams(1, 1))
+		rep, err := Run(s, NullBackend{}, 3, 1)
+		if err != nil {
+			t.Error(err)
+		}
+		if len(rep.WriteSeconds) != 3 {
+			t.Errorf("phases = %d", len(rep.WriteSeconds))
+		}
+		if rep.ComputeSeconds <= 0 {
+			t.Error("compute time not recorded")
+		}
+		if (NullBackend{}).Name() != "no-io" {
+			t.Error("name wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithoutOutput(t *testing.T) {
+	err := mpi.Run(1, 1, func(c *mpi.Comm) {
+		s, _ := New(c, smallParams(1, 1))
+		rep, err := Run(s, NullBackend{}, 5, 0) // outputEvery <= 0: no phases
+		if err != nil {
+			t.Error(err)
+		}
+		if len(rep.WriteSeconds) != 0 {
+			t.Errorf("phases = %d, want 0", len(rep.WriteSeconds))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	if NewFPPBackend("", dsf.None, 0).Name() != "file-per-process" {
+		t.Error("fpp name")
+	}
+	if (&DamarisBackend{}).Name() != "damaris" {
+		t.Error("damaris name")
+	}
+	if (&CollectiveBackend{}).Name() != "collective" {
+		t.Error("collective name")
+	}
+}
+
+func TestFPPWriteFailurePropagates(t *testing.T) {
+	err := mpi.Run(1, 1, func(c *mpi.Comm) {
+		s, _ := New(c, smallParams(1, 1))
+		// Point the backend at an unwritable path.
+		file := filepath.Join(t.TempDir(), "blocker")
+		if err := os.WriteFile(file, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b := NewFPPBackend(filepath.Join(file, "sub"), dsf.None, 0)
+		if _, err := Run(s, b, 1, 1); err == nil {
+			t.Error("expected error from unwritable dir")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

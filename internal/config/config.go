@@ -1,0 +1,249 @@
+// Package config loads and validates the external XML configuration file
+// that drives Damaris.
+//
+// The paper (§III-B, "Configuration file") keeps static dataset metadata out
+// of the shared memory: names, descriptions, units, dimensions and the
+// actions to run on events are declared once in XML, "directly inspired by
+// ADIOS". Clients then send only a minimal descriptor with each write. The
+// schema here follows the paper's example:
+//
+//	<layout   name="my_layout" type="real" dimensions="64,16,2" language="fortran"/>
+//	<variable name="my_variable" layout="my_layout"/>
+//	<event    name="my_event" action="do_something" using="my_plugin.so" scope="local"/>
+//
+// plus the runtime knobs the paper describes in prose: shared-buffer size
+// ("a size chosen by the user"), the allocator choice (mutex vs lock-free),
+// and the number of dedicated cores per node.
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"damaris/internal/layout"
+)
+
+// Config is the parsed, validated configuration.
+type Config struct {
+	// BufferSize is the per-node shared-memory segment size in bytes.
+	BufferSize int64
+	// Allocator selects the reservation strategy: "mutex" (default) or
+	// "lockfree".
+	Allocator string
+	// DedicatedCores is the number of cores per node reserved for Damaris
+	// (the paper uses 1; §V-A discusses several).
+	DedicatedCores int
+	// Layouts maps layout names to normalized (C-order) layouts.
+	Layouts map[string]layout.Layout
+	// Variables maps variable names to their declarations.
+	Variables map[string]Variable
+	// Events maps event names to the actions they trigger.
+	Events map[string]Event
+}
+
+// Variable declares a named dataset and the layout its writes follow.
+type Variable struct {
+	Name        string
+	LayoutName  string
+	Layout      layout.Layout
+	Description string
+	Unit        string
+}
+
+// Event binds a user signal to an action.
+type Event struct {
+	Name   string
+	Action string // plugin/action name to invoke
+	Using  string // plugin library providing the action (informational)
+	Scope  string // "local" (per dedicated core) or "global"
+}
+
+// xmlFile mirrors the on-disk schema.
+type xmlFile struct {
+	XMLName xml.Name      `xml:"simulation"`
+	Buffer  xmlBuffer     `xml:"buffer"`
+	Layouts []xmlLayout   `xml:"layout"`
+	Vars    []xmlVariable `xml:"variable"`
+	Events  []xmlEvent    `xml:"event"`
+}
+
+type xmlBuffer struct {
+	Size           int64  `xml:"size,attr"`
+	Allocator      string `xml:"allocator,attr"`
+	DedicatedCores int    `xml:"cores,attr"`
+}
+
+type xmlLayout struct {
+	Name       string `xml:"name,attr"`
+	Type       string `xml:"type,attr"`
+	Dimensions string `xml:"dimensions,attr"`
+	Language   string `xml:"language,attr"`
+}
+
+type xmlVariable struct {
+	Name        string `xml:"name,attr"`
+	Layout      string `xml:"layout,attr"`
+	Description string `xml:"description,attr"`
+	Unit        string `xml:"unit,attr"`
+}
+
+type xmlEvent struct {
+	Name   string `xml:"name,attr"`
+	Action string `xml:"action,attr"`
+	Using  string `xml:"using,attr"`
+	Scope  string `xml:"scope,attr"`
+}
+
+// Defaults applied when the XML omits optional knobs.
+const (
+	DefaultBufferSize     = 64 << 20 // 64 MiB per node
+	DefaultAllocator      = "mutex"
+	DefaultDedicatedCores = 1
+)
+
+// Parse reads configuration XML from r.
+func Parse(r io.Reader) (*Config, error) {
+	var f xmlFile
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("config: parse: %w", err)
+	}
+	return build(&f)
+}
+
+// ParseString parses configuration from an in-memory XML document.
+func ParseString(s string) (*Config, error) { return Parse(strings.NewReader(s)) }
+
+// Load reads the configuration file at path.
+func Load(path string) (*Config, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer fh.Close()
+	return Parse(fh)
+}
+
+func build(f *xmlFile) (*Config, error) {
+	c := &Config{
+		BufferSize:     f.Buffer.Size,
+		Allocator:      f.Buffer.Allocator,
+		DedicatedCores: f.Buffer.DedicatedCores,
+		Layouts:        make(map[string]layout.Layout),
+		Variables:      make(map[string]Variable),
+		Events:         make(map[string]Event),
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = DefaultBufferSize
+	}
+	if c.BufferSize < 0 {
+		return nil, fmt.Errorf("config: negative buffer size %d", c.BufferSize)
+	}
+	switch c.Allocator {
+	case "":
+		c.Allocator = DefaultAllocator
+	case "mutex", "lockfree":
+	default:
+		return nil, fmt.Errorf("config: unknown allocator %q (want mutex or lockfree)", c.Allocator)
+	}
+	if c.DedicatedCores == 0 {
+		c.DedicatedCores = DefaultDedicatedCores
+	}
+	if c.DedicatedCores < 0 {
+		return nil, fmt.Errorf("config: negative dedicated core count %d", c.DedicatedCores)
+	}
+
+	for _, xl := range f.Layouts {
+		if xl.Name == "" {
+			return nil, fmt.Errorf("config: layout with empty name")
+		}
+		if _, dup := c.Layouts[xl.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate layout %q", xl.Name)
+		}
+		ty, err := layout.ParseType(xl.Type)
+		if err != nil {
+			return nil, fmt.Errorf("config: layout %q: %w", xl.Name, err)
+		}
+		dims, err := layout.ParseDims(xl.Dimensions)
+		if err != nil {
+			return nil, fmt.Errorf("config: layout %q: %w", xl.Name, err)
+		}
+		l, err := layout.New(ty, dims...)
+		if err != nil {
+			return nil, fmt.Errorf("config: layout %q: %w", xl.Name, err)
+		}
+		// Fortran declares dimensions fastest-varying first; normalize to
+		// C order so extents are slowest-first internally (paper's example
+		// uses language="fortran").
+		if strings.EqualFold(xl.Language, "fortran") {
+			l = l.Reverse()
+		}
+		c.Layouts[xl.Name] = l
+	}
+
+	for _, xv := range f.Vars {
+		if xv.Name == "" {
+			return nil, fmt.Errorf("config: variable with empty name")
+		}
+		if _, dup := c.Variables[xv.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate variable %q", xv.Name)
+		}
+		l, ok := c.Layouts[xv.Layout]
+		if !ok {
+			return nil, fmt.Errorf("config: variable %q references unknown layout %q", xv.Name, xv.Layout)
+		}
+		c.Variables[xv.Name] = Variable{
+			Name:        xv.Name,
+			LayoutName:  xv.Layout,
+			Layout:      l,
+			Description: xv.Description,
+			Unit:        xv.Unit,
+		}
+	}
+
+	for _, xe := range f.Events {
+		if xe.Name == "" {
+			return nil, fmt.Errorf("config: event with empty name")
+		}
+		if _, dup := c.Events[xe.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate event %q", xe.Name)
+		}
+		if xe.Action == "" {
+			return nil, fmt.Errorf("config: event %q has no action", xe.Name)
+		}
+		scope := xe.Scope
+		switch scope {
+		case "":
+			scope = "local"
+		case "local", "global":
+		default:
+			return nil, fmt.Errorf("config: event %q: unknown scope %q", xe.Name, xe.Scope)
+		}
+		c.Events[xe.Name] = Event{Name: xe.Name, Action: xe.Action, Using: xe.Using, Scope: scope}
+	}
+	return c, nil
+}
+
+// Variable returns the declaration of a named variable.
+func (c *Config) Variable(name string) (Variable, bool) {
+	v, ok := c.Variables[name]
+	return v, ok
+}
+
+// Event returns the declaration of a named event.
+func (c *Config) Event(name string) (Event, bool) {
+	e, ok := c.Events[name]
+	return e, ok
+}
+
+// LayoutOf returns the layout a variable's writes follow.
+func (c *Config) LayoutOf(varName string) (layout.Layout, bool) {
+	v, ok := c.Variables[varName]
+	if !ok {
+		return layout.Layout{}, false
+	}
+	return v.Layout, true
+}

@@ -1,0 +1,175 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"damaris/internal/layout"
+)
+
+const paperExample = `
+<simulation>
+  <buffer size="1048576" allocator="lockfree" cores="1"/>
+  <layout name="my_layout" type="real" dimensions="64,16,2" language="fortran"/>
+  <variable name="my_variable" layout="my_layout"/>
+  <event name="my_event" action="do_something" using="my_plugin.so" scope="local"/>
+</simulation>`
+
+func TestParsePaperExample(t *testing.T) {
+	c, err := ParseString(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BufferSize != 1048576 {
+		t.Errorf("BufferSize = %d", c.BufferSize)
+	}
+	if c.Allocator != "lockfree" {
+		t.Errorf("Allocator = %q", c.Allocator)
+	}
+	if c.DedicatedCores != 1 {
+		t.Errorf("DedicatedCores = %d", c.DedicatedCores)
+	}
+	l, ok := c.Layouts["my_layout"]
+	if !ok {
+		t.Fatal("layout missing")
+	}
+	// Fortran dims 64,16,2 normalize to C order 2,16,64.
+	want := layout.MustNew(layout.Float32, 2, 16, 64)
+	if !l.Equal(want) {
+		t.Errorf("layout = %v, want %v", l, want)
+	}
+	v, ok := c.Variable("my_variable")
+	if !ok || !v.Layout.Equal(want) {
+		t.Errorf("variable = %+v", v)
+	}
+	e, ok := c.Event("my_event")
+	if !ok || e.Action != "do_something" || e.Using != "my_plugin.so" || e.Scope != "local" {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c, err := ParseString(`<simulation></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BufferSize != DefaultBufferSize {
+		t.Errorf("BufferSize = %d", c.BufferSize)
+	}
+	if c.Allocator != DefaultAllocator {
+		t.Errorf("Allocator = %q", c.Allocator)
+	}
+	if c.DedicatedCores != DefaultDedicatedCores {
+		t.Errorf("DedicatedCores = %d", c.DedicatedCores)
+	}
+}
+
+func TestEventDefaultScope(t *testing.T) {
+	c, err := ParseString(`<simulation><event name="e" action="a"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Events["e"].Scope != "local" {
+		t.Errorf("scope = %q", c.Events["e"].Scope)
+	}
+}
+
+func TestCLayoutOrderPreserved(t *testing.T) {
+	c, err := ParseString(`<simulation>
+	  <layout name="l" type="double" dimensions="3,5,7"/>
+	</simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := layout.MustNew(layout.Float64, 3, 5, 7)
+	if !c.Layouts["l"].Equal(want) {
+		t.Errorf("layout = %v, want %v", c.Layouts["l"], want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"malformed":         `<simulation><layout`,
+		"empty layout name": `<simulation><layout name="" type="real" dimensions="2"/></simulation>`,
+		"bad type":          `<simulation><layout name="l" type="quat" dimensions="2"/></simulation>`,
+		"bad dims":          `<simulation><layout name="l" type="real" dimensions="a,b"/></simulation>`,
+		"zero dim":          `<simulation><layout name="l" type="real" dimensions="0"/></simulation>`,
+		"dup layout":        `<simulation><layout name="l" type="real" dimensions="2"/><layout name="l" type="real" dimensions="2"/></simulation>`,
+		"unknown layout":    `<simulation><variable name="v" layout="nope"/></simulation>`,
+		"dup variable":      `<simulation><layout name="l" type="real" dimensions="2"/><variable name="v" layout="l"/><variable name="v" layout="l"/></simulation>`,
+		"empty var name":    `<simulation><layout name="l" type="real" dimensions="2"/><variable name="" layout="l"/></simulation>`,
+		"event no action":   `<simulation><event name="e"/></simulation>`,
+		"event bad scope":   `<simulation><event name="e" action="a" scope="galactic"/></simulation>`,
+		"dup event":         `<simulation><event name="e" action="a"/><event name="e" action="b"/></simulation>`,
+		"empty event name":  `<simulation><event name="" action="a"/></simulation>`,
+		"bad allocator":     `<simulation><buffer allocator="tlsf"/></simulation>`,
+		"negative buffer":   `<simulation><buffer size="-1"/></simulation>`,
+		"negative cores":    `<simulation><buffer cores="-2"/></simulation>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "conf.xml")
+	if err := os.WriteFile(path, []byte(paperExample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Variables) != 1 {
+		t.Errorf("variables = %d", len(c.Variables))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.xml")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLayoutOf(t *testing.T) {
+	c, err := ParseString(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LayoutOf("my_variable"); !ok {
+		t.Error("LayoutOf known variable failed")
+	}
+	if _, ok := c.LayoutOf("ghost"); ok {
+		t.Error("LayoutOf unknown variable should fail")
+	}
+}
+
+func TestVariableMetadataAttributes(t *testing.T) {
+	c, err := ParseString(`<simulation>
+	  <layout name="l" type="real" dimensions="4"/>
+	  <variable name="temp" layout="l" description="potential temperature" unit="K"/>
+	</simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := c.Variables["temp"]
+	if v.Description != "potential temperature" || v.Unit != "K" {
+		t.Errorf("attrs = %+v", v)
+	}
+}
+
+func TestParseReaderEquivalence(t *testing.T) {
+	a, err := Parse(strings.NewReader(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseString(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Layouts) != len(b.Layouts) || len(a.Variables) != len(b.Variables) {
+		t.Error("Parse and ParseString disagree")
+	}
+}

@@ -1,0 +1,226 @@
+// Package core implements the Damaris middleware itself: the deployment of
+// dedicated I/O cores on every SMP node, the client-side API compute cores
+// use to hand datasets over through shared memory, and the dedicated-core
+// server loop that asynchronously processes and persists them.
+//
+// This is the paper's primary contribution (§III): "Damaris consists of a
+// set of MPI processes running on a set of dedicated cores (typically one)
+// in every SMP node used by the simulation. Each dedicated process keeps
+// data in a shared memory segment and performs post-processing, filtering,
+// indexing and finally I/O in response to user-defined events sent either by
+// the simulation or by external tools."
+//
+// Deployment: Deploy splits each node's intra-node communicator so that the
+// last DedicatedCores ranks become servers and the rest clients. Each server
+// creates the shared-memory segment and event queue at start time (paper
+// §III-B) and hands references to its client group. With several dedicated
+// cores per node the clients are partitioned symmetrically among them
+// (paper §V-A).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"damaris/internal/config"
+	"damaris/internal/event"
+	"damaris/internal/metadata"
+	"damaris/internal/mpi"
+	"damaris/internal/plugin"
+	"damaris/internal/shm"
+)
+
+// tagInit is the intra-node user tag carrying the server→client handshake.
+const tagInit = 1
+
+// initMsg is what a dedicated core sends each of its clients at start time.
+type initMsg struct {
+	seg      *shm.Segment
+	queue    *event.Queue
+	fc       *flow
+	localIdx int // client index within the server's group (allocator slot)
+}
+
+// flow is the iteration-window flow control between a dedicated core and
+// its clients. Clients may run at most one iteration ahead of the last
+// flushed one; without this bound, a fast client can fill the shared buffer
+// with many unflushed iterations of its own while a slow sibling never gets
+// the space to finish the oldest — and the oldest can then never flush.
+// (The lock-free partitioned allocator cannot starve siblings, but the
+// window still bounds memory and is kept uniform.)
+type flow struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	flushed int64 // highest iteration flushed; -1 before any
+	closed  bool
+}
+
+func newFlow() *flow {
+	f := &flow{flushed: -1}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// setFlushed records a completed flush and wakes waiting clients.
+func (f *flow) setFlushed(it int64) {
+	f.mu.Lock()
+	if it > f.flushed {
+		f.flushed = it
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// waitFlushed blocks until iteration `it` has been flushed (or the server
+// shut down).
+func (f *flow) waitFlushed(it int64) {
+	f.mu.Lock()
+	for f.flushed < it && !f.closed {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// close releases all waiters permanently (server shutdown).
+func (f *flow) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Deployment is the per-rank outcome of Deploy: exactly one of Client or
+// Server is non-nil.
+type Deployment struct {
+	// Client is non-nil on compute cores.
+	Client *Client
+	// Server is non-nil on dedicated cores.
+	Server *Server
+	// NodeComm is the intra-node communicator (all ranks of this node).
+	NodeComm *mpi.Comm
+	// ClientComm spans all compute cores across all nodes — the
+	// communicator the simulation itself runs on (CM1's world, shrunk by
+	// the dedicated cores). It is nil on dedicated cores.
+	ClientComm *mpi.Comm
+	// NodeClients and NodeServers are the per-node role counts.
+	NodeClients int
+	NodeServers int
+}
+
+// IsClient reports whether this rank is a compute core.
+func (d *Deployment) IsClient() bool { return d.Client != nil }
+
+// Options tune deployment beyond the configuration file.
+type Options struct {
+	// OutputDir is where persistency actions write DSF files.
+	OutputDir string
+	// Persister overrides the default DSF persistency layer on servers.
+	Persister Persister
+	// Scheduler, when non-nil, delays each server's persistence to its
+	// assigned slot (paper §IV-D, "Data transfer scheduling").
+	Scheduler Scheduler
+}
+
+// Deploy initializes Damaris on every rank of world. Compute cores receive a
+// Client; dedicated cores receive a Server whose Run method must be called
+// (it blocks until all its clients finalize). All ranks must call Deploy
+// collectively.
+//
+// Buffer sizing: with the shared ("mutex") allocator the per-node buffer
+// should hold at least two write phases' worth of data. Built-in flow
+// control bounds every client to one iteration beyond the last flush, so
+// at most two iterations are ever in flight; two phases of space therefore
+// guarantee progress, while a single phase can still deadlock (a fast
+// client's iteration-N+1 data occupying space a sibling needs to finish
+// N). The lock-free partitioned allocator cannot cross-starve and needs
+// only one phase per client partition.
+func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Options) (*Deployment, error) {
+	if world == nil {
+		return nil, fmt.Errorf("core: nil world communicator")
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("core: nil configuration")
+	}
+	if reg == nil {
+		reg = plugin.NewRegistry()
+	}
+	RegisterBuiltins(reg)
+
+	node := world.SplitByNode()
+	n := node.Size()
+	servers := cfg.DedicatedCores
+	if servers < 1 {
+		return nil, fmt.Errorf("core: need at least one dedicated core per node, config says %d", servers)
+	}
+	if servers >= n {
+		return nil, fmt.Errorf("core: %d dedicated cores leave no clients on a %d-core node", servers, n)
+	}
+	clients := n - servers
+
+	dep := &Deployment{NodeComm: node, NodeClients: clients, NodeServers: servers}
+	myNodeRank := node.Rank()
+
+	// Build the all-clients communicator collectively: compute cores get
+	// color 0 ordered by world rank; dedicated cores opt out.
+	clientColor := 0
+	if myNodeRank >= clients {
+		clientColor = -1
+	}
+	dep.ClientComm = world.Split(clientColor, world.Rank())
+
+	if myNodeRank >= clients {
+		// Dedicated core: create shared resources and hand them out.
+		g := myNodeRank - clients
+		group := groupClients(g, clients, servers)
+		segSize := cfg.BufferSize / int64(servers)
+		var segOpts []shm.Option
+		if cfg.Allocator == "lockfree" {
+			segOpts = append(segOpts, shm.WithLockFree(len(group)))
+		}
+		seg, err := shm.NewSegment(segSize, segOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d: %w", g, err)
+		}
+		queue := event.NewQueue()
+		fc := newFlow()
+		for localIdx, clientNodeRank := range group {
+			node.Send(clientNodeRank, tagInit, initMsg{seg: seg, queue: queue, fc: fc, localIdx: localIdx})
+		}
+		store := metadata.NewStore()
+		eng, err := event.NewEngine(cfg, reg, store, len(group), world.WorldRank(), node.Node(), opts.OutputDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d: %w", g, err)
+		}
+		srv := newServer(cfg, eng, queue, seg, fc, world.WorldRank(), node.Node(), g, opts)
+		dep.Server = srv
+		return dep, nil
+	}
+
+	// Compute core: receive the handshake from its dedicated core.
+	g := groupOf(myNodeRank, clients, servers)
+	serverNodeRank := clients + g
+	raw := node.Recv(serverNodeRank, tagInit)
+	msg, ok := raw.(initMsg)
+	if !ok {
+		return nil, fmt.Errorf("core: client %d: bad handshake payload %T", myNodeRank, raw)
+	}
+	dep.Client = newClient(cfg, msg.seg, msg.queue, msg.fc, world.WorldRank(), msg.localIdx)
+	return dep, nil
+}
+
+// groupOf maps a client's node rank to its dedicated-core group, splitting
+// the clients into `servers` contiguous, balanced groups.
+func groupOf(clientNodeRank, clients, servers int) int {
+	return clientNodeRank * servers / clients
+}
+
+// groupClients lists the node ranks of the clients served by group g.
+func groupClients(g, clients, servers int) []int {
+	var out []int
+	for i := 0; i < clients; i++ {
+		if groupOf(i, clients, servers) == g {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"damaris/internal/dsf"
+	"damaris/internal/metadata"
+	"damaris/internal/mpi"
+	"damaris/internal/plugin"
+	"damaris/internal/transform"
+)
+
+// DSFPersister writes each completed iteration as one DSF file per
+// dedicated core — the paper's "gathering data into large files" that cuts
+// metadata pressure from one-file-per-process to one-file-per-node.
+type DSFPersister struct {
+	// Dir is the output directory (created on demand).
+	Dir string
+	// Codec encodes every chunk (None by default; ShuffleGzip gives the
+	// paper's overhead-free compression, since it runs on the dedicated
+	// core's spare time).
+	Codec dsf.Codec
+	// Node and ServerID name the output files.
+	Node     int
+	ServerID int
+
+	mu    sync.Mutex
+	files []string
+}
+
+// Persist writes all entries of the iteration into one new DSF file.
+func (p *DSFPersister) Persist(iteration int64, entries []*metadata.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	dir := p.Dir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("node%04d_srv%04d_it%06d.dsf", p.Node, p.ServerID, iteration))
+	w, err := dsf.Create(path)
+	if err != nil {
+		return err
+	}
+	w.SetAttribute("writer", "damaris-dedicated-core")
+	w.SetAttribute("node", fmt.Sprint(p.Node))
+	for _, e := range entries {
+		meta := dsf.ChunkMeta{
+			Name:      e.Key.Name,
+			Iteration: e.Key.Iteration,
+			Source:    e.Key.Source,
+			Layout:    e.Layout,
+			Global:    e.Global,
+			Codec:     p.Codec,
+		}
+		if err := w.WriteChunk(meta, e.Bytes()); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.files = append(p.files, path)
+	p.mu.Unlock()
+	return nil
+}
+
+// Files lists the DSF files written so far.
+func (p *DSFPersister) Files() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.files...)
+}
+
+// NullPersister discards data (for benchmarks isolating the middleware
+// path from disk speed).
+type NullPersister struct {
+	mu    sync.Mutex
+	bytes int64
+	calls int
+}
+
+// Persist counts and drops the entries.
+func (p *NullPersister) Persist(_ int64, entries []*metadata.Entry) error {
+	var b int64
+	for _, e := range entries {
+		b += e.Size()
+	}
+	p.mu.Lock()
+	p.bytes += b
+	p.calls++
+	p.mu.Unlock()
+	return nil
+}
+
+// Bytes returns the total payload bytes dropped.
+func (p *NullPersister) Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// Calls returns the number of Persist invocations.
+func (p *NullPersister) Calls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// MemPersister retains deep copies of all persisted entries, for tests and
+// in-situ analysis demos (the paper's simulation/visualization coupling
+// direction, §VI).
+type MemPersister struct {
+	mu   sync.Mutex
+	data map[metadata.Key][]byte
+}
+
+// Persist copies the entries into memory.
+func (p *MemPersister) Persist(_ int64, entries []*metadata.Entry) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.data == nil {
+		p.data = make(map[metadata.Key][]byte)
+	}
+	for _, e := range entries {
+		p.data[e.Key] = append([]byte(nil), e.Bytes()...)
+	}
+	return nil
+}
+
+// Get returns the retained copy for a tuple.
+func (p *MemPersister) Get(k metadata.Key) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.data[k]
+	return b, ok
+}
+
+// Len returns the number of retained datasets.
+func (p *MemPersister) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.data)
+}
+
+// RegisterBuiltins adds the built-in actions to a registry, skipping names
+// already present so user overrides win. Provided actions:
+//
+//   - "persist-gzip": marker consulted by persistency layers (no-op here;
+//     compression choice is carried by DSFPersister.Codec)
+//   - "stats": computes per-variable min/max/mean over the triggering
+//     iteration and stores them in the plugin context under
+//     "stats:<variable>" — the paper's "statistical studies" smart action
+//   - "reduce16": re-encodes every float32 entry of the iteration with
+//     16-bit precision reduction, the paper's visualization-precision path
+//   - "log": records the event in the context under "log"
+func RegisterBuiltins(reg *plugin.Registry) {
+	_ = reg.Register("log", func(ctx *plugin.Context, ev string) error {
+		var log []string
+		if v := ctx.Value("log"); v != nil {
+			log = v.([]string)
+		}
+		log = append(log, fmt.Sprintf("event %s at iteration %d from %d", ev, ctx.Iteration, ctx.Source))
+		ctx.SetValue("log", log)
+		return nil
+	})
+	_ = reg.Register("stats", func(ctx *plugin.Context, ev string) error {
+		for _, e := range ctx.Store.Iteration(ctx.Iteration) {
+			if e.Layout.Type().Size() != 4 {
+				continue
+			}
+			xs := mpi.BytesToFloat32s(e.Bytes())
+			if len(xs) == 0 {
+				continue
+			}
+			mn, mx, sum := xs[0], xs[0], 0.0
+			for _, x := range xs {
+				if x < mn {
+					mn = x
+				}
+				if x > mx {
+					mx = x
+				}
+				sum += float64(x)
+			}
+			ctx.SetValue("stats:"+e.Key.Name, [3]float64{float64(mn), float64(mx), sum / float64(len(xs))})
+		}
+		return nil
+	})
+	_ = reg.Register("reduce16", func(ctx *plugin.Context, ev string) error {
+		for _, e := range ctx.Store.Iteration(ctx.Iteration) {
+			if e.Layout.Type().Size() != 4 {
+				continue
+			}
+			xs := mpi.BytesToFloat32s(e.Bytes())
+			reduced := transform.ReduceFloat32To16(xs)
+			ctx.SetValue(fmt.Sprintf("reduced:%s:%d", e.Key.Name, e.Key.Source), reduced)
+		}
+		return nil
+	})
+	_ = reg.Register("persist-gzip", func(ctx *plugin.Context, ev string) error {
+		ctx.SetValue("persist-codec", "gzip")
+		return nil
+	})
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"damaris/internal/config"
+	"damaris/internal/event"
+	"damaris/internal/metadata"
+	"damaris/internal/stats"
+)
+
+// Scheduler delays a server's persistence to its assigned slot, the paper's
+// communication-free data-transfer scheduling (§IV-D): "each dedicated core
+// computes an estimation of the computation time of an iteration […] divided
+// into as many slots as dedicated cores. Each dedicated core then waits for
+// its slot before writing."
+type Scheduler interface {
+	// WaitTurn blocks until this server's slot for the iteration opens.
+	WaitTurn(iteration int64)
+}
+
+// Server is the dedicated-core side of Damaris: it pulls events from the
+// shared queue, maintains the metadata catalog through the EPE, and flushes
+// each completed iteration through the persistency layer, overlapping I/O
+// with the clients' next compute phase.
+type Server struct {
+	cfg       *config.Config
+	eng       *event.Engine
+	queue     *event.Queue
+	seg       segmentCloser
+	fc        *flow
+	id        int // world rank of this dedicated core
+	node      int
+	group     int // dedicated-core index within the node
+	persister Persister
+	scheduler Scheduler
+
+	mu           sync.Mutex
+	writeDurs    []float64 // seconds spent persisting, per iteration
+	spareDur     float64   // seconds spent idle waiting for events
+	busyDur      float64   // seconds spent handling events + persisting
+	bytesWritten int64
+	iterations   []int64
+	handleErrs   []error
+	running      bool
+}
+
+// segmentCloser is the part of shm.Segment the server needs at shutdown.
+type segmentCloser interface {
+	Close()
+	Size() int64
+	FreeBytes() int64
+}
+
+func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmentCloser,
+	fc *flow, worldRank, node, group int, opts Options) *Server {
+	s := &Server{
+		cfg:       cfg,
+		eng:       eng,
+		queue:     q,
+		seg:       seg,
+		fc:        fc,
+		id:        worldRank,
+		node:      node,
+		group:     group,
+		persister: opts.Persister,
+		scheduler: opts.Scheduler,
+	}
+	if s.persister == nil {
+		s.persister = &DSFPersister{Dir: opts.OutputDir, Node: node, ServerID: worldRank}
+	}
+	eng.OnIterationEnd = s.flushIteration
+	eng.OnAllExited = func() error {
+		s.queue.Close()
+		return nil
+	}
+	return s
+}
+
+// ID returns the server's world rank.
+func (s *Server) ID() int { return s.id }
+
+// Node returns the SMP node the server runs on.
+func (s *Server) Node() int { return s.node }
+
+// Engine exposes the EPE (for tools that inject events, e.g. external
+// steering per §III-A "events sent either by the simulation or by external
+// tools").
+func (s *Server) Engine() *event.Engine { return s.eng }
+
+// Inject queues an event as an external tool would.
+func (s *Server) Inject(ev event.Event) { s.queue.Push(ev) }
+
+// Run executes the dedicated-core loop until every client has finalized and
+// the queue has drained. It returns the first persistence error, if any;
+// per-event handling errors (unknown variables, failing actions) are
+// collected and available through HandleErrors, matching a long-running
+// service that logs and continues.
+func (s *Server) Run() error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return fmt.Errorf("core: server already running")
+	}
+	s.running = true
+	s.mu.Unlock()
+
+	var firstFlushErr error
+	for {
+		idleStart := time.Now()
+		ev, ok := s.queue.Pop()
+		s.mu.Lock()
+		s.spareDur += time.Since(idleStart).Seconds()
+		s.mu.Unlock()
+		if !ok {
+			break
+		}
+		busyStart := time.Now()
+		if err := s.eng.Handle(ev); err != nil {
+			s.mu.Lock()
+			s.handleErrs = append(s.handleErrs, err)
+			s.mu.Unlock()
+			if firstFlushErr == nil && isFlushError(err) {
+				firstFlushErr = err
+			}
+		}
+		s.mu.Lock()
+		s.busyDur += time.Since(busyStart).Seconds()
+		s.mu.Unlock()
+	}
+	// Flush anything left behind (clients that exited without ending their
+	// last iteration).
+	if leftover := s.eng.Store().Iterations(); len(leftover) > 0 {
+		sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
+		for _, it := range leftover {
+			if err := s.flushIteration(it); err != nil && firstFlushErr == nil {
+				firstFlushErr = err
+			}
+		}
+	}
+	s.seg.Close()
+	if s.fc != nil {
+		s.fc.close()
+	}
+	return firstFlushErr
+}
+
+type flushError struct{ err error }
+
+func (f flushError) Error() string { return f.err.Error() }
+func (f flushError) Unwrap() error { return f.err }
+
+func isFlushError(err error) bool {
+	_, ok := err.(flushError)
+	return ok
+}
+
+// flushIteration persists and drops one completed iteration. It is the
+// engine's OnIterationEnd hook, so it runs on the dedicated core — the
+// simulation never waits for it.
+func (s *Server) flushIteration(it int64) error {
+	if s.scheduler != nil {
+		s.scheduler.WaitTurn(it)
+	}
+	start := time.Now()
+	entries := s.eng.Store().Iteration(it)
+	var bytes int64
+	for _, e := range entries {
+		bytes += e.Size()
+	}
+	err := s.persister.Persist(it, entries)
+	s.eng.Store().DropIteration(it)
+	if s.fc != nil {
+		// Unblock clients waiting at the flow-control window; on persist
+		// error the data is gone either way, so liveness wins.
+		s.fc.setFlushed(it)
+	}
+	dur := time.Since(start).Seconds()
+
+	s.mu.Lock()
+	s.writeDurs = append(s.writeDurs, dur)
+	s.iterations = append(s.iterations, it)
+	if err == nil {
+		s.bytesWritten += bytes
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return flushError{fmt.Errorf("core: server %d: persist iteration %d: %w", s.id, it, err)}
+	}
+	return nil
+}
+
+// WriteTimes returns the seconds each iteration flush took on the dedicated
+// core (the paper's Figure 5 "Write time").
+func (s *Server) WriteTimes() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.writeDurs...)
+}
+
+// SpareSeconds returns the total time the dedicated core spent idle — the
+// paper's "spare time […] dedicated cores are not performing any task",
+// which §IV-C2 reports as 75%–99% of their time.
+func (s *Server) SpareSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spareDur
+}
+
+// BusySeconds returns the total time spent handling events and persisting.
+func (s *Server) BusySeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busyDur
+}
+
+// BytesWritten returns the total payload bytes successfully persisted.
+func (s *Server) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesWritten
+}
+
+// Iterations returns the iterations flushed, in completion order.
+func (s *Server) Iterations() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.iterations...)
+}
+
+// HandleErrors returns the per-event errors collected during Run.
+func (s *Server) HandleErrors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.handleErrs...)
+}
+
+// WriteStats summarizes the dedicated core's per-iteration write times.
+func (s *Server) WriteStats() stats.Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return stats.Summarize(s.writeDurs)
+}
+
+// Persister is the persistency layer invoked once per completed iteration
+// with that iteration's catalogued entries (paper §III-C: "our
+// implementation of Damaris interfaces with HDF5 by using a custom
+// persistency layer embedded in a plugin").
+type Persister interface {
+	Persist(iteration int64, entries []*metadata.Entry) error
+}

@@ -1,0 +1,151 @@
+package dsf
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// Collection presents a set of DSF files — e.g. everything a Damaris run
+// wrote, one file per node per iteration — as a single dataset. This is
+// what an analysis or visualization tool opens after a run.
+type Collection struct {
+	readers []*Reader
+	paths   []string
+	// index maps a chunk's position across files.
+	index []chunkRef
+}
+
+type chunkRef struct {
+	file  int // index into readers
+	chunk int // index within the file
+}
+
+// OpenCollection opens every file matching the glob pattern (or the given
+// explicit paths when the argument contains no glob metacharacters but
+// multiple calls are needed, use OpenFiles). Files are ordered by name so
+// iteration order is stable for the damaris persister's naming scheme.
+func OpenCollection(pattern string) (*Collection, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("dsf: collection glob: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dsf: collection %q matches no files", pattern)
+	}
+	sort.Strings(paths)
+	return OpenFiles(paths)
+}
+
+// OpenFiles opens an explicit list of DSF files as a collection.
+func OpenFiles(paths []string) (*Collection, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dsf: empty collection")
+	}
+	c := &Collection{}
+	for _, p := range paths {
+		r, err := Open(p)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dsf: collection member %s: %w", p, err)
+		}
+		for i := range r.Chunks() {
+			c.index = append(c.index, chunkRef{file: len(c.readers), chunk: i})
+		}
+		c.readers = append(c.readers, r)
+		c.paths = append(c.paths, p)
+	}
+	return c, nil
+}
+
+// Close releases every member file.
+func (c *Collection) Close() error {
+	var first error
+	for _, r := range c.readers {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.readers = nil
+	return first
+}
+
+// Files lists the member paths in collection order.
+func (c *Collection) Files() []string { return append([]string(nil), c.paths...) }
+
+// Len returns the total chunk count across all files.
+func (c *Collection) Len() int { return len(c.index) }
+
+// Chunk returns the metadata of the i-th chunk of the collection.
+func (c *Collection) Chunk(i int) (ChunkMeta, error) {
+	if i < 0 || i >= len(c.index) {
+		return ChunkMeta{}, fmt.Errorf("dsf: collection chunk %d out of range [0,%d)", i, len(c.index))
+	}
+	ref := c.index[i]
+	return c.readers[ref.file].Chunks()[ref.chunk], nil
+}
+
+// ReadChunk returns the decoded payload of the i-th chunk.
+func (c *Collection) ReadChunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.index) {
+		return nil, fmt.Errorf("dsf: collection chunk %d out of range [0,%d)", i, len(c.index))
+	}
+	ref := c.index[i]
+	return c.readers[ref.file].ReadChunk(ref.chunk)
+}
+
+// Variables lists the distinct variable names present, sorted.
+func (c *Collection) Variables() []string {
+	seen := make(map[string]bool)
+	for _, ref := range c.index {
+		seen[c.readers[ref.file].Chunks()[ref.chunk].Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Iterations lists the distinct iterations present, ascending.
+func (c *Collection) Iterations() []int64 {
+	seen := make(map[int64]bool)
+	for _, ref := range c.index {
+		seen[c.readers[ref.file].Chunks()[ref.chunk].Iteration] = true
+	}
+	out := make([]int64, 0, len(seen))
+	for it := range seen {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Select returns the collection-level indices of all chunks of one variable
+// at one iteration, sorted by source — the set a reassembly needs.
+func (c *Collection) Select(name string, iteration int64) []int {
+	var out []int
+	for i, ref := range c.index {
+		m := c.readers[ref.file].Chunks()[ref.chunk]
+		if m.Name == name && m.Iteration == iteration {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ma, _ := c.Chunk(out[a])
+		mb, _ := c.Chunk(out[b])
+		return ma.Source < mb.Source
+	})
+	return out
+}
+
+// Verify checks every chunk of every member file.
+func (c *Collection) Verify() error {
+	for i, r := range c.readers {
+		if err := r.Verify(); err != nil {
+			return fmt.Errorf("dsf: collection member %s: %w", c.paths[i], err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package dsf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"damaris/internal/layout"
+)
+
+// writeRunFiles fabricates the output of a 2-node, 3-iteration Damaris run:
+// one file per node per iteration, two sources per node, one variable.
+func writeRunFiles(t *testing.T, dir string) {
+	t.Helper()
+	lay := layout.MustNew(layout.Byte, 8)
+	for node := 0; node < 2; node++ {
+		for it := int64(0); it < 3; it++ {
+			path := filepath.Join(dir, fmt.Sprintf("node%04d_it%06d.dsf", node, it))
+			w, err := Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < 2; s++ {
+				src := node*2 + s
+				payload := []byte(fmt.Sprintf("n%dt%ds%d..", node, it, src))
+				meta := ChunkMeta{Name: "theta", Iteration: it, Source: src, Layout: lay}
+				if err := w.WriteChunk(meta, payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCollectionBasics(t *testing.T) {
+	dir := t.TempDir()
+	writeRunFiles(t, dir)
+	c, err := OpenCollection(filepath.Join(dir, "*.dsf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if len(c.Files()) != 6 {
+		t.Errorf("files = %d", len(c.Files()))
+	}
+	if c.Len() != 12 { // 6 files x 2 chunks
+		t.Errorf("chunks = %d", c.Len())
+	}
+	if vars := c.Variables(); len(vars) != 1 || vars[0] != "theta" {
+		t.Errorf("variables = %v", vars)
+	}
+	its := c.Iterations()
+	if len(its) != 3 || its[0] != 0 || its[2] != 2 {
+		t.Errorf("iterations = %v", its)
+	}
+	if err := c.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectionSelectAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeRunFiles(t, dir)
+	c, err := OpenCollection(filepath.Join(dir, "*.dsf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Iteration 1 spans two files (one per node), four sources total.
+	sel := c.Select("theta", 1)
+	if len(sel) != 4 {
+		t.Fatalf("selected = %d, want 4", len(sel))
+	}
+	for want, idx := range sel {
+		m, err := c.Chunk(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Source != want {
+			t.Errorf("selection not source-ordered: got %d at %d", m.Source, want)
+		}
+		b, err := c.ReadChunk(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPayload := fmt.Sprintf("n%dt1s%d..", want/2, want)
+		if string(b) != wantPayload {
+			t.Errorf("payload = %q, want %q", b, wantPayload)
+		}
+	}
+	if sel := c.Select("ghost", 0); sel != nil {
+		t.Errorf("unknown variable selected %v", sel)
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenCollection(filepath.Join(dir, "*.dsf")); err == nil {
+		t.Error("empty glob should fail")
+	}
+	if _, err := OpenFiles(nil); err == nil {
+		t.Error("empty list should fail")
+	}
+	// One valid and one corrupt member: open must fail and not leak.
+	writeRunFiles(t, dir)
+	bad := filepath.Join(dir, "zzz_bad.dsf")
+	if err := writeGarbage(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCollection(filepath.Join(dir, "*.dsf")); err == nil {
+		t.Error("corrupt member should fail the collection")
+	}
+
+	c, err := OpenCollection(filepath.Join(dir, "node*.dsf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Chunk(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := c.ReadChunk(c.Len()); err == nil {
+		t.Error("out-of-range read should fail")
+	}
+}
+
+func writeGarbage(path string) error {
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	// Truncate away the footer to corrupt it.
+	return truncateFile(path, 10)
+}
+
+func truncateFile(path string, drop int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, st.Size()-drop)
+}

@@ -1,0 +1,369 @@
+// Package dsf implements the Damaris Scientific Format, the self-describing
+// chunked file format this reproduction uses where the original Damaris
+// persistency layer uses HDF5 (paper §III-C: "our implementation of Damaris
+// interfaces with HDF5 by using a custom persistency layer embedded in a
+// plugin").
+//
+// A DSF file holds an arbitrary number of dataset chunks, each identified by
+// the paper's ⟨name, iteration, source⟩ tuple, carrying its layout (type +
+// extents), its position in the global domain, and an optional per-chunk
+// codec (gzip, or byte-shuffle + gzip — the same filters HDF5 offers). File
+// structure:
+//
+//	[magic "DSFv0001"]
+//	[chunk payloads ...]
+//	[gob-encoded table of contents]
+//	[toc offset : 8 bytes LE][toc length : 8 bytes LE][magic "DSFINDEX"]
+//
+// Chunks stream to disk as they arrive; the table of contents is written
+// once at Close, so a writer failure leaves a detectably truncated file
+// rather than a silently corrupt one.
+package dsf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"damaris/internal/layout"
+	"damaris/internal/transform"
+)
+
+// Format magics.
+var (
+	headMagic = []byte("DSFv0001")
+	tailMagic = []byte("DSFINDEX")
+)
+
+// Codec selects the per-chunk storage encoding.
+type Codec uint8
+
+// Supported codecs.
+const (
+	// None stores raw bytes.
+	None Codec = iota
+	// Gzip stores gzip-compressed bytes.
+	Gzip
+	// ShuffleGzip byte-shuffles elements (by the layout's element size)
+	// before gzip — usually the best choice for floating-point fields.
+	ShuffleGzip
+)
+
+func (c Codec) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Gzip:
+		return "gzip"
+	case ShuffleGzip:
+		return "shuffle+gzip"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+// ChunkMeta describes one stored chunk.
+type ChunkMeta struct {
+	Name      string
+	Iteration int64
+	Source    int
+	Layout    layout.Layout
+	Global    layout.Block // position in the global domain (optional)
+	Codec     Codec
+	RawSize   int64 // bytes before encoding
+	Stored    int64 // bytes on disk
+}
+
+// tocRecord is the on-disk form of ChunkMeta (gob-friendly: layout as its
+// binary descriptor).
+type tocRecord struct {
+	Name        string
+	Iteration   int64
+	Source      int
+	LayoutDesc  []byte
+	GlobalStart []int64
+	GlobalCount []int64
+	Codec       uint8
+	RawSize     int64
+	Stored      int64
+	Offset      int64
+	CRC         uint32
+}
+
+type toc struct {
+	Records    []tocRecord
+	Attributes map[string]string
+}
+
+// Writer streams chunks into a DSF file.
+type Writer struct {
+	f      *os.File
+	offset int64
+	toc    toc
+	closed bool
+}
+
+// Create opens path for writing and emits the header.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("dsf: %w", err)
+	}
+	if _, err := f.Write(headMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dsf: header: %w", err)
+	}
+	return &Writer{
+		f:      f,
+		offset: int64(len(headMagic)),
+		toc:    toc{Attributes: make(map[string]string)},
+	}, nil
+}
+
+// SetAttribute records a file-level key/value attribute (units, provenance,
+// simulation parameters — the "enriched dataset" metadata of §III-A).
+func (w *Writer) SetAttribute(key, value string) {
+	w.toc.Attributes[key] = value
+}
+
+// WriteChunk encodes and appends one dataset chunk. data length must match
+// meta.Layout.Bytes().
+func (w *Writer) WriteChunk(meta ChunkMeta, data []byte) error {
+	if w.closed {
+		return fmt.Errorf("dsf: write on closed writer")
+	}
+	if meta.Name == "" {
+		return fmt.Errorf("dsf: chunk with empty name")
+	}
+	if meta.Layout.IsZero() {
+		return fmt.Errorf("dsf: chunk %q without layout", meta.Name)
+	}
+	if int64(len(data)) != meta.Layout.Bytes() {
+		return fmt.Errorf("dsf: chunk %q: layout %v wants %d bytes, got %d",
+			meta.Name, meta.Layout, meta.Layout.Bytes(), len(data))
+	}
+	stored, err := encode(data, meta.Codec, meta.Layout.Type().Size())
+	if err != nil {
+		return fmt.Errorf("dsf: chunk %q: %w", meta.Name, err)
+	}
+	if _, err := w.f.Write(stored); err != nil {
+		return fmt.Errorf("dsf: chunk %q: %w", meta.Name, err)
+	}
+	rec := tocRecord{
+		Name:       meta.Name,
+		Iteration:  meta.Iteration,
+		Source:     meta.Source,
+		LayoutDesc: meta.Layout.Marshal(),
+		Codec:      uint8(meta.Codec),
+		RawSize:    int64(len(data)),
+		Stored:     int64(len(stored)),
+		Offset:     w.offset,
+		CRC:        crc32.ChecksumIEEE(stored),
+	}
+	if meta.Global.Valid() {
+		rec.GlobalStart = append([]int64(nil), meta.Global.Start...)
+		rec.GlobalCount = append([]int64(nil), meta.Global.Count...)
+	}
+	w.toc.Records = append(w.toc.Records, rec)
+	w.offset += int64(len(stored))
+	return nil
+}
+
+// StoredBytes returns the number of payload bytes written so far (excluding
+// header and TOC) — the figure throughput is computed from.
+func (w *Writer) StoredBytes() int64 { return w.offset - int64(len(headMagic)) }
+
+// Close writes the table of contents and footer and closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w.toc); err != nil {
+		w.f.Close()
+		return fmt.Errorf("dsf: toc encode: %w", err)
+	}
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		w.f.Close()
+		return fmt.Errorf("dsf: toc write: %w", err)
+	}
+	var foot [24]byte
+	binary.LittleEndian.PutUint64(foot[0:], uint64(w.offset))
+	binary.LittleEndian.PutUint64(foot[8:], uint64(buf.Len()))
+	copy(foot[16:], tailMagic)
+	if _, err := w.f.Write(foot[:]); err != nil {
+		w.f.Close()
+		return fmt.Errorf("dsf: footer: %w", err)
+	}
+	return w.f.Close()
+}
+
+func encode(data []byte, c Codec, elemSize int) ([]byte, error) {
+	switch c {
+	case None:
+		return data, nil
+	case Gzip:
+		return transform.CompressGzip(data, 0)
+	case ShuffleGzip:
+		sh, err := transform.Shuffle(data, elemSize)
+		if err != nil {
+			return nil, err
+		}
+		return transform.CompressGzip(sh, 0)
+	default:
+		return nil, fmt.Errorf("unknown codec %v", c)
+	}
+}
+
+func decode(stored []byte, c Codec, elemSize int) ([]byte, error) {
+	switch c {
+	case None:
+		return stored, nil
+	case Gzip:
+		return transform.DecompressGzip(stored)
+	case ShuffleGzip:
+		raw, err := transform.DecompressGzip(stored)
+		if err != nil {
+			return nil, err
+		}
+		return transform.Unshuffle(raw, elemSize)
+	default:
+		return nil, fmt.Errorf("unknown codec %v", c)
+	}
+}
+
+// Reader reads a DSF file.
+type Reader struct {
+	f     *os.File
+	toc   toc
+	metas []ChunkMeta
+}
+
+// Open reads and validates the file's header, footer and table of contents.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dsf: %w", err)
+	}
+	r := &Reader{f: f}
+	if err := r.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) load() error {
+	head := make([]byte, len(headMagic))
+	if _, err := io.ReadFull(r.f, head); err != nil {
+		return fmt.Errorf("dsf: header: %w", err)
+	}
+	if !bytes.Equal(head, headMagic) {
+		return fmt.Errorf("dsf: not a DSF file (bad header magic)")
+	}
+	st, err := r.f.Stat()
+	if err != nil {
+		return fmt.Errorf("dsf: stat: %w", err)
+	}
+	if st.Size() < int64(len(headMagic))+24 {
+		return fmt.Errorf("dsf: file truncated (no footer)")
+	}
+	var foot [24]byte
+	if _, err := r.f.ReadAt(foot[:], st.Size()-24); err != nil {
+		return fmt.Errorf("dsf: footer: %w", err)
+	}
+	if !bytes.Equal(foot[16:24], tailMagic) {
+		return fmt.Errorf("dsf: file truncated or corrupt (bad footer magic)")
+	}
+	tocOff := int64(binary.LittleEndian.Uint64(foot[0:]))
+	tocLen := int64(binary.LittleEndian.Uint64(foot[8:]))
+	if tocOff < int64(len(headMagic)) || tocOff+tocLen+24 != st.Size() {
+		return fmt.Errorf("dsf: inconsistent footer (toc at %d len %d, file %d)", tocOff, tocLen, st.Size())
+	}
+	tocBytes := make([]byte, tocLen)
+	if _, err := r.f.ReadAt(tocBytes, tocOff); err != nil {
+		return fmt.Errorf("dsf: toc read: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(tocBytes)).Decode(&r.toc); err != nil {
+		return fmt.Errorf("dsf: toc decode: %w", err)
+	}
+	r.metas = make([]ChunkMeta, len(r.toc.Records))
+	for i, rec := range r.toc.Records {
+		l, err := layout.Unmarshal(rec.LayoutDesc)
+		if err != nil {
+			return fmt.Errorf("dsf: chunk %d layout: %w", i, err)
+		}
+		m := ChunkMeta{
+			Name:      rec.Name,
+			Iteration: rec.Iteration,
+			Source:    rec.Source,
+			Layout:    l,
+			Codec:     Codec(rec.Codec),
+			RawSize:   rec.RawSize,
+			Stored:    rec.Stored,
+		}
+		if len(rec.GlobalStart) > 0 {
+			m.Global = layout.Block{Start: rec.GlobalStart, Count: rec.GlobalCount}
+		}
+		r.metas[i] = m
+	}
+	return nil
+}
+
+// Chunks lists the chunk metadata in file order.
+func (r *Reader) Chunks() []ChunkMeta { return r.metas }
+
+// Attributes returns the file-level attributes.
+func (r *Reader) Attributes() map[string]string { return r.toc.Attributes }
+
+// ReadChunk returns the decoded payload of chunk index i, verifying its
+// checksum.
+func (r *Reader) ReadChunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(r.toc.Records) {
+		return nil, fmt.Errorf("dsf: chunk index %d out of range [0,%d)", i, len(r.toc.Records))
+	}
+	rec := r.toc.Records[i]
+	stored := make([]byte, rec.Stored)
+	if _, err := r.f.ReadAt(stored, rec.Offset); err != nil {
+		return nil, fmt.Errorf("dsf: chunk %d read: %w", i, err)
+	}
+	if crc := crc32.ChecksumIEEE(stored); crc != rec.CRC {
+		return nil, fmt.Errorf("dsf: chunk %d checksum mismatch (%08x != %08x)", i, crc, rec.CRC)
+	}
+	data, err := decode(stored, Codec(rec.Codec), r.metas[i].Layout.Type().Size())
+	if err != nil {
+		return nil, fmt.Errorf("dsf: chunk %d: %w", i, err)
+	}
+	if int64(len(data)) != rec.RawSize {
+		return nil, fmt.Errorf("dsf: chunk %d decoded to %d bytes, toc says %d", i, len(data), rec.RawSize)
+	}
+	return data, nil
+}
+
+// Find returns the index of the chunk with the given tuple, or -1.
+func (r *Reader) Find(name string, iteration int64, source int) int {
+	for i, m := range r.metas {
+		if m.Name == name && m.Iteration == iteration && m.Source == source {
+			return i
+		}
+	}
+	return -1
+}
+
+// Verify reads every chunk, checking checksums and decodability.
+func (r *Reader) Verify() error {
+	for i := range r.metas {
+		if _, err := r.ReadChunk(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the file handle.
+func (r *Reader) Close() error { return r.f.Close() }

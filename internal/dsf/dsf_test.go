@@ -1,0 +1,293 @@
+package dsf
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"damaris/internal/layout"
+	"damaris/internal/mpi"
+)
+
+func tmpfile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "out.dsf")
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := tmpfile(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetAttribute("model", "cm1-mini")
+	w.SetAttribute("unit", "K")
+
+	lay := layout.MustNew(layout.Float32, 4, 3)
+	xs := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	data := mpi.Float32sToBytes(xs)
+	for i, codec := range []Codec{None, Gzip, ShuffleGzip} {
+		meta := ChunkMeta{
+			Name: "theta", Iteration: int64(i), Source: 7, Layout: lay, Codec: codec,
+			Global: layout.Block{Start: []int64{0, int64(3 * i)}, Count: []int64{4, 3}},
+		}
+		if err := w.WriteChunk(meta, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.StoredBytes() <= 0 {
+		t.Error("StoredBytes should be positive")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Attributes()["model"]; got != "cm1-mini" {
+		t.Errorf("attribute = %q", got)
+	}
+	chunks := r.Chunks()
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	for i, m := range chunks {
+		if m.Name != "theta" || m.Iteration != int64(i) || m.Source != 7 {
+			t.Errorf("meta[%d] = %+v", i, m)
+		}
+		if !m.Layout.Equal(lay) {
+			t.Errorf("layout[%d] = %v", i, m.Layout)
+		}
+		if !m.Global.Valid() || m.Global.Start[1] != int64(3*i) {
+			t.Errorf("global[%d] = %+v", i, m.Global)
+		}
+		got, err := r.ReadChunk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("chunk %d (%v) payload mismatch", i, m.Codec)
+		}
+	}
+	if err := r.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFind(t *testing.T) {
+	path := tmpfile(t)
+	w, _ := Create(path)
+	lay := layout.MustNew(layout.Byte, 4)
+	_ = w.WriteChunk(ChunkMeta{Name: "u", Iteration: 1, Source: 0, Layout: lay}, []byte("aaaa"))
+	_ = w.WriteChunk(ChunkMeta{Name: "v", Iteration: 1, Source: 2, Layout: lay}, []byte("bbbb"))
+	_ = w.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if i := r.Find("v", 1, 2); i != 1 {
+		t.Errorf("Find = %d", i)
+	}
+	if i := r.Find("v", 1, 3); i != -1 {
+		t.Errorf("Find missing = %d", i)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	w, _ := Create(tmpfile(t))
+	lay := layout.MustNew(layout.Byte, 4)
+	if err := w.WriteChunk(ChunkMeta{Name: "", Layout: lay}, []byte("aaaa")); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := w.WriteChunk(ChunkMeta{Name: "x"}, []byte("aaaa")); err == nil {
+		t.Error("zero layout should fail")
+	}
+	if err := w.WriteChunk(ChunkMeta{Name: "x", Layout: lay}, []byte("aa")); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if err := w.WriteChunk(ChunkMeta{Name: "x", Layout: lay, Codec: Codec(9)}, []byte("aaaa")); err == nil {
+		t.Error("unknown codec should fail")
+	}
+	_ = w.Close()
+	if err := w.WriteChunk(ChunkMeta{Name: "x", Layout: lay}, []byte("aaaa")); err == nil {
+		t.Error("write after close should fail")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing.dsf")); err == nil {
+		t.Error("missing file should fail")
+	}
+
+	bad := filepath.Join(dir, "bad.dsf")
+	_ = os.WriteFile(bad, []byte("this is not a dsf file at all, padding padding"), 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+
+	short := filepath.Join(dir, "short.dsf")
+	_ = os.WriteFile(short, []byte("DSF"), 0o644)
+	if _, err := Open(short); err == nil {
+		t.Error("short file should fail")
+	}
+}
+
+func TestTruncatedFileDetected(t *testing.T) {
+	path := tmpfile(t)
+	w, _ := Create(path)
+	lay := layout.MustNew(layout.Byte, 1024)
+	_ = w.WriteChunk(ChunkMeta{Name: "x", Layout: lay}, make([]byte, 1024))
+	_ = w.Close()
+	full, _ := os.ReadFile(path)
+	// Simulate a writer crash: drop the footer.
+	_ = os.WriteFile(path, full[:len(full)-10], 0o644)
+	if _, err := Open(path); err == nil {
+		t.Error("truncated file should fail to open")
+	}
+}
+
+func TestCorruptChunkDetected(t *testing.T) {
+	path := tmpfile(t)
+	w, _ := Create(path)
+	lay := layout.MustNew(layout.Byte, 64)
+	payload := bytes.Repeat([]byte{7}, 64)
+	_ = w.WriteChunk(ChunkMeta{Name: "x", Layout: lay}, payload)
+	_ = w.Close()
+	// Flip a byte inside the chunk payload (after the 8-byte header).
+	raw, _ := os.ReadFile(path)
+	raw[12] ^= 0xFF
+	_ = os.WriteFile(path, raw, 0o644)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err) // TOC itself is intact
+	}
+	defer r.Close()
+	if _, err := r.ReadChunk(0); err == nil {
+		t.Error("corrupt chunk should fail checksum")
+	}
+	if err := r.Verify(); err == nil {
+		t.Error("Verify should catch corruption")
+	}
+}
+
+func TestReadChunkBounds(t *testing.T) {
+	path := tmpfile(t)
+	w, _ := Create(path)
+	_ = w.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ReadChunk(0); err == nil {
+		t.Error("out-of-range chunk should fail")
+	}
+	if _, err := r.ReadChunk(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+}
+
+func TestEmptyFileRoundTrip(t *testing.T) {
+	path := tmpfile(t)
+	w, _ := Create(path)
+	w.SetAttribute("empty", "yes")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Chunks()) != 0 {
+		t.Error("expected no chunks")
+	}
+	if r.Attributes()["empty"] != "yes" {
+		t.Error("attributes lost")
+	}
+}
+
+func TestCodecStrings(t *testing.T) {
+	if None.String() != "none" || Gzip.String() != "gzip" || ShuffleGzip.String() != "shuffle+gzip" {
+		t.Error("codec strings wrong")
+	}
+	if Codec(9).String() != "codec(9)" {
+		t.Error("unknown codec string wrong")
+	}
+}
+
+func TestCompressionShrinksSmoothField(t *testing.T) {
+	path := tmpfile(t)
+	w, _ := Create(path)
+	n := int64(1 << 14)
+	lay := layout.MustNew(layout.Float32, n)
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = 280 + float32(i%100)/100
+	}
+	data := mpi.Float32sToBytes(xs)
+	_ = w.WriteChunk(ChunkMeta{Name: "smooth", Layout: lay, Codec: ShuffleGzip}, data)
+	_ = w.Close()
+	r, _ := Open(path)
+	defer r.Close()
+	m := r.Chunks()[0]
+	if m.Stored >= m.RawSize {
+		t.Errorf("shuffle+gzip did not shrink: %d -> %d", m.RawSize, m.Stored)
+	}
+}
+
+// Property: arbitrary float32 chunks round-trip through every codec.
+func TestQuickChunkRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64, codecSel uint8, nRaw uint16) bool {
+		n := int64(nRaw%512) + 1
+		codec := []Codec{None, Gzip, ShuffleGzip}[int(codecSel)%3]
+		lay, err := layout.New(layout.Float64, n)
+		if err != nil {
+			return false
+		}
+		xs := make([]float64, n)
+		r2 := rand.New(rand.NewSource(seed))
+		for i := range xs {
+			xs[i] = r2.NormFloat64()
+		}
+		data := mpi.Float64sToBytes(xs)
+		path := filepath.Join(os.TempDir(), "dsfquick", "q.dsf")
+		_ = os.MkdirAll(filepath.Dir(path), 0o755)
+		w, err := Create(path)
+		if err != nil {
+			return false
+		}
+		if err := w.WriteChunk(ChunkMeta{Name: "q", Layout: lay, Codec: codec}, data); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		rd, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer rd.Close()
+		got, err := rd.ReadChunk(0)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

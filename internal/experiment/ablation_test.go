@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRatioExperiment(t *testing.T) {
+	tb, err := Run("ratio", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The paper's finding: one dedicated core per node is optimal. Run
+	// time must increase monotonically with the dedicated count here,
+	// because I/O already fits comfortably in the compute interval.
+	prev := 0.0
+	for i, row := range tb.Rows {
+		rt := mustFloat(t, row[4])
+		if i > 0 && rt <= prev {
+			t.Errorf("run time should grow with dedicated cores: row %d: %v after %v", i, rt, prev)
+		}
+		prev = rt
+	}
+	foundOptimum := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "optimum here: 1 dedicated") {
+			foundOptimum = true
+		}
+	}
+	if !foundOptimum {
+		t.Errorf("expected the paper's 1-core optimum; notes: %v", tb.Notes)
+	}
+	// More dedicated cores inflate compute: the compute factor column must
+	// be cpn/(cpn-d) = 12/11, 12/10, ...
+	if tb.Rows[0][3] != "1.091" || tb.Rows[3][3] != "1.500" {
+		t.Errorf("compute factors wrong: %v, %v", tb.Rows[0][3], tb.Rows[3][3])
+	}
+}
+
+func TestStripesExperiment(t *testing.T) {
+	tb, err := Run("stripes", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	oneMB := mustFloat(t, findRow(tb, "1 MB")[1])
+	thirtyTwo := mustFloat(t, findRow(tb, "32 MB")[1])
+	// Paper: 481 s -> 1600 s, a ≈3.3x degradation.
+	if ratio := thirtyTwo / oneMB; ratio < 2 || ratio > 5 {
+		t.Errorf("32MB/1MB = %.1fx, paper ≈3.3x", ratio)
+	}
+	if oneMB < 240 || oneMB > 960 {
+		t.Errorf("1MB stripe phase = %vs, paper ≈481s", oneMB)
+	}
+	if thirtyTwo < 800 || thirtyTwo > 3200 {
+		t.Errorf("32MB stripe phase = %vs, paper ≈1600s", thirtyTwo)
+	}
+}

@@ -1,0 +1,316 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b",
+		"fig6", "fig7", "model", "ratio", "scheduling", "stripes", "table1"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", 1); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		ID:      "demo",
+		Title:   "demo table",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "DEMO — demo table") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "long-column") || !strings.Contains(out, "333333") {
+		t.Error("missing cells")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("missing note")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.0042: "0.0042",
+		0.5:    "0.50",
+		42.3:   "42.3",
+		481:    "481",
+	}
+	for in, want := range cases {
+		if got := seconds(in); got != want {
+			t.Errorf("seconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if gbps(4.32e9) != "4.32 GB/s" {
+		t.Errorf("gbps = %q", gbps(4.32e9))
+	}
+	if gbps(695e6) != "695 MB/s" {
+		t.Errorf("gbps = %q", gbps(695e6))
+	}
+}
+
+// cell fetches a row by matching the first columns.
+func findRow(tb Table, prefix ...string) []string {
+	for _, row := range tb.Rows {
+		ok := true
+		for i, p := range prefix {
+			if i >= len(row) || row[i] != p {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return row
+		}
+	}
+	return nil
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.Fields(s)[0], 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+func TestFig2Shape(t *testing.T) {
+	tb, err := Run("fig2", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5*3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// At 9216 cores: collective ≫ fpp ≫ damaris; damaris sub-second.
+	coll := mustFloat(t, findRow(tb, "9216", "collective-I/O")[2])
+	fpp := mustFloat(t, findRow(tb, "9216", "file-per-process")[2])
+	dam := mustFloat(t, findRow(tb, "9216", "Damaris")[2])
+	if !(coll > fpp && fpp > dam) {
+		t.Errorf("ordering violated: coll=%v fpp=%v dam=%v", coll, fpp, dam)
+	}
+	if dam > 1 {
+		t.Errorf("damaris write phase %vs should be sub-second", dam)
+	}
+	if coll < 240 || coll > 960 {
+		t.Errorf("collective @9216 = %vs, paper ≈481s avg", coll)
+	}
+	// Damaris is scale-independent: compare 576 and 9216.
+	dam576 := mustFloat(t, findRow(tb, "576", "Damaris")[2])
+	if dam > 2*dam576 {
+		t.Errorf("damaris grew with scale: %v -> %v", dam576, dam)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tb, err := Run("fig3", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4*2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	fppSmall := mustFloat(t, findRow(tb, "3.5 GB", "file-per-process")[2])
+	fppLarge := mustFloat(t, findRow(tb, "30.7 GB", "file-per-process")[2])
+	if fppLarge < 3*fppSmall {
+		t.Errorf("FPP should grow with volume: %v -> %v", fppSmall, fppLarge)
+	}
+	damLarge := mustFloat(t, findRow(tb, "30.7 GB", "Damaris")[2])
+	if damLarge > 1 {
+		t.Errorf("Damaris @30.7GB = %vs, paper ≈0.2s", damLarge)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	ta, err := Run("fig4a", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damaris S/N near 1 at 9216; baselines clearly below.
+	damSN := mustFloat(t, findRow(ta, "9216", "Damaris")[3])
+	fppSN := mustFloat(t, findRow(ta, "9216", "file-per-process")[3])
+	collSN := mustFloat(t, findRow(ta, "9216", "collective-I/O")[3])
+	if damSN < 0.85 {
+		t.Errorf("Damaris S/N = %v, want near-perfect", damSN)
+	}
+	if fppSN > 0.75 || collSN > 0.5 {
+		t.Errorf("baselines scale too well: fpp %v coll %v", fppSN, collSN)
+	}
+
+	tbb, err := Run("fig4b", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fppRatio := mustFloat(t, strings.TrimSuffix(findRow(tbb, "9216", "file-per-process")[3], "x"))
+	collRatio := mustFloat(t, strings.TrimSuffix(findRow(tbb, "9216", "collective-I/O")[3], "x"))
+	if fppRatio < 1.25 || fppRatio > 2.2 {
+		t.Errorf("FPP/Damaris run time = %vx, paper ≈1.54x", fppRatio)
+	}
+	if collRatio < 2.2 || collRatio > 5.2 {
+		t.Errorf("collective/Damaris run time = %vx, paper ≈3.5x", collRatio)
+	}
+}
+
+func TestFig5SpareTime(t *testing.T) {
+	for _, id := range []string{"fig5a", "fig5b"} {
+		tb, err := Run(id, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tb.Rows {
+			pct := mustFloat(t, strings.TrimSuffix(row[3], "%"))
+			if pct < 75 || pct > 100 {
+				t.Errorf("%s %s: spare %v%%, paper 75-99%%", id, row[0], pct)
+			}
+		}
+	}
+}
+
+func TestFig6Ratios(t *testing.T) {
+	tb, err := Run("fig6", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fppRel := mustFloat(t, findRow(tb, "9216", "file-per-process")[3])
+	collRel := mustFloat(t, findRow(tb, "9216", "collective-I/O")[3])
+	if fppRel > 1/3.0 || fppRel < 1/12.0 {
+		t.Errorf("FPP/Damaris = %v, paper ≈1/6", fppRel)
+	}
+	if collRel > 1/7.5 || collRel < 1/30.0 {
+		t.Errorf("collective/Damaris = %v, paper ≈1/15", collRel)
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	tb, err := Run("table1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Ordering: damaris > fpp, collective.
+	var fpp, coll, dam float64
+	for _, row := range tb.Rows {
+		v := mustFloat(t, row[1])
+		if strings.Contains(row[1], "MB/s") {
+			v *= 1e6
+		} else {
+			v *= 1e9
+		}
+		switch row[0] {
+		case "file-per-process":
+			fpp = v
+		case "collective-I/O":
+			coll = v
+		case "Damaris":
+			dam = v
+		}
+	}
+	if !(dam > 4*fpp && dam > 4*coll) {
+		t.Errorf("Damaris %v must dominate fpp %v and coll %v", dam, fpp, coll)
+	}
+}
+
+func TestSchedulingExperiment(t *testing.T) {
+	tb, err := Run("scheduling", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mustFloat(t, tb.Rows[0][1])
+	sched := mustFloat(t, tb.Rows[1][1])
+	if sched <= base {
+		t.Errorf("scheduling should lift throughput: %v -> %v", base, sched)
+	}
+}
+
+func TestFig7Rows(t *testing.T) {
+	tb, err := Run("fig7", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Kraken: compression > plain; scheduling < plain.
+	kp := mustFloat(t, findRow(tb, "Kraken@2304", "plain")[2])
+	kc := mustFloat(t, findRow(tb, "Kraken@2304", "compression")[2])
+	ks := mustFloat(t, findRow(tb, "Kraken@2304", "scheduling")[2])
+	if kc <= kp {
+		t.Errorf("Kraken compression should cost: %v -> %v", kp, kc)
+	}
+	if ks >= kp {
+		t.Errorf("Kraken scheduling should help: %v -> %v", kp, ks)
+	}
+	// Grid'5000: scheduling helps; compression roughly free.
+	gp := mustFloat(t, findRow(tb, "Grid5000@912", "plain")[2])
+	gs := mustFloat(t, findRow(tb, "Grid5000@912", "scheduling")[2])
+	gc := mustFloat(t, findRow(tb, "Grid5000@912", "compression")[2])
+	if gs >= gp {
+		t.Errorf("Grid5000 scheduling should help: %v -> %v", gp, gs)
+	}
+	if gc > gp*1.3 {
+		t.Errorf("Grid5000 compression should be roughly free: %v -> %v", gp, gc)
+	}
+}
+
+func TestModelBreakEven(t *testing.T) {
+	tb, err := Run("model", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At exactly break-even the two times must tie (damaris wins column
+	// true) and p(24) = 4.35%.
+	row := findRow(tb, "24")
+	if row == nil {
+		t.Fatal("no N=24 row")
+	}
+	if !strings.HasPrefix(row[1], "4.35") {
+		t.Errorf("p(24) = %s, want 4.35%%", row[1])
+	}
+	for _, r := range tb.Rows {
+		if r[4] != "true" {
+			t.Errorf("N=%s: damaris should tie/win at break-even", r[0])
+		}
+	}
+}
+
+func TestRunAllProducesAllTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in short mode")
+	}
+	tables, err := RunAll(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(IDs()) {
+		t.Errorf("tables = %d, want %d", len(tables), len(IDs()))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+		if tb.Render() == "" {
+			t.Errorf("%s: empty render", tb.ID)
+		}
+	}
+}

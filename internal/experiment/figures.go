@@ -1,0 +1,431 @@
+package experiment
+
+import (
+	"fmt"
+
+	"damaris/internal/cluster"
+	"damaris/internal/iostrat"
+	"damaris/internal/stats"
+)
+
+// krakenScales are the core counts of the paper's Kraken experiments.
+var krakenScales = []int{576, 1152, 2304, 4608, 9216}
+
+// phasesPerPoint is how many independent write phases feed each statistic.
+const phasesPerPoint = 5
+
+// strategies in presentation order.
+var strategies = []struct{ key, label string }{
+	{"fpp", "file-per-process"},
+	{"collective", "collective-I/O"},
+	{"damaris", "Damaris"},
+}
+
+func init() {
+	register("fig2", fig2)
+	register("fig3", fig3)
+	register("fig4a", fig4a)
+	register("fig4b", fig4b)
+	register("fig5a", fig5a)
+	register("fig5b", fig5b)
+	register("fig6", fig6)
+	register("table1", table1)
+	register("fig7", fig7)
+	register("scheduling", schedulingExp)
+	register("model", modelVA)
+}
+
+// fig2 — duration of a write phase on Kraken (average and maximum), §IV-C1.
+func fig2(seed int64) (Table, error) {
+	plat := cluster.Kraken()
+	t := Table{
+		ID:    "fig2",
+		Title: "Write-phase duration seen by the simulation on Kraken (avg/max over phases)",
+		Columns: []string{"cores", "strategy", "avg (s)", "max (s)",
+			"paper"},
+		Notes: []string{
+			"paper @9216: collective ≈481 s avg / ≈800 s max; FPP spread ≈±17 s; Damaris ≈0.2 s, scale-independent",
+		},
+	}
+	for _, cores := range krakenScales {
+		for _, s := range strategies {
+			rs, err := iostrat.Phases(s.key, plat,
+				iostrat.Options{Cores: cores, Seed: seed, Interference: true}, phasesPerPoint)
+			if err != nil {
+				return Table{}, err
+			}
+			sum := stats.Summarize(iostrat.ClientSeconds(rs))
+			paper := ""
+			if cores == 9216 {
+				switch s.key {
+				case "collective":
+					paper = "≈481 avg / ≈800 max"
+				case "fpp":
+					paper = "spread ≈±17 s"
+				case "damaris":
+					paper = "≈0.2 s"
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(cores), s.label, seconds(sum.Mean), seconds(sum.Max), paper,
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig3 — write-phase duration on BluePrint vs data volume, §IV-C1.
+func fig3(seed int64) (Table, error) {
+	plat := cluster.BluePrint()
+	t := Table{
+		ID:      "fig3",
+		Title:   "Write-phase duration on BluePrint, 1024 cores, vs total data per phase (avg/max/min)",
+		Columns: []string{"data/phase", "strategy", "avg (s)", "max (s)", "min (s)", "paper"},
+		Notes: []string{
+			"paper: FPP duration and spread grow with volume; Damaris stays ≈0.2 s with ≈0.1 s variability",
+		},
+	}
+	for _, gb := range []float64{3.5, 7.6, 15.3, 30.7} {
+		per := gb * 1e9 / 1024
+		for _, s := range []struct{ key, label string }{
+			{"fpp", "file-per-process"}, {"damaris", "Damaris"},
+		} {
+			rs, err := iostrat.Phases(s.key, plat,
+				iostrat.Options{Cores: 1024, Seed: seed, Interference: true, BytesPerCore: per},
+				phasesPerPoint)
+			if err != nil {
+				return Table{}, err
+			}
+			sum := stats.Summarize(iostrat.ClientSeconds(rs))
+			paper := ""
+			if s.key == "damaris" {
+				paper = "≈0.2 s flat"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.1f GB", gb), s.label,
+				seconds(sum.Mean), seconds(sum.Max), seconds(sum.Min), paper,
+			})
+		}
+	}
+	return t, nil
+}
+
+// runSeconds composes the paper's Fig-4 run: 50 iterations of compute plus
+// one write phase, for a strategy at a scale. Damaris computes on one fewer
+// core per node, so per-iteration compute inflates by cpn/(cpn-dedicated).
+func runSeconds(plat cluster.Platform, strategy string, cores int, seed int64) (float64, error) {
+	rs, err := iostrat.Phases(strategy, plat,
+		iostrat.Options{Cores: cores, Seed: seed, Interference: true}, phasesPerPoint)
+	if err != nil {
+		return 0, err
+	}
+	write := stats.Mean(iostrat.ClientSeconds(rs))
+	compute := 50 * plat.IterationSeconds
+	if strategy == "damaris" {
+		cpn := float64(plat.CoresPerNode)
+		compute *= cpn / (cpn - 1)
+	}
+	return compute + write, nil
+}
+
+// fig4a — scalability factor S = N·C576/TN on Kraken, §IV-C2.
+func fig4a(seed int64) (Table, error) {
+	plat := cluster.Kraken()
+	c576 := 50 * plat.IterationSeconds
+	t := Table{
+		ID:      "fig4a",
+		Title:   "Scalability factor S = N*C576/TN on Kraken (50 iterations + 1 write phase)",
+		Columns: []string{"cores", "strategy", "S", "S/N (perfect=1)", "paper"},
+		Notes: []string{
+			"paper: Damaris scales almost perfectly to 9216 cores; file-per-process and collective-I/O flatten",
+		},
+	}
+	for _, cores := range krakenScales {
+		for _, s := range strategies {
+			tn, err := runSeconds(plat, s.key, cores, seed)
+			if err != nil {
+				return Table{}, err
+			}
+			S := float64(cores) * c576 / tn
+			paper := ""
+			if cores == 9216 && s.key == "damaris" {
+				paper = "near-perfect"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(cores), s.label,
+				fmt.Sprintf("%.0f", S), fmt.Sprintf("%.2f", S/float64(cores)), paper,
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig4b — run time for 50 iterations + 1 write phase on Kraken, §IV-C2.
+func fig4b(seed int64) (Table, error) {
+	plat := cluster.Kraken()
+	t := Table{
+		ID:      "fig4b",
+		Title:   "Run time of 50 CM1 iterations + 1 write phase on Kraken",
+		Columns: []string{"cores", "strategy", "run time (s)", "vs damaris", "paper"},
+		Notes: []string{
+			"paper @9216: Damaris cuts run time 35% vs file-per-process and 3.5x vs collective-I/O",
+		},
+	}
+	for _, cores := range krakenScales {
+		var dam float64
+		times := make(map[string]float64, len(strategies))
+		for _, s := range strategies {
+			tn, err := runSeconds(plat, s.key, cores, seed)
+			if err != nil {
+				return Table{}, err
+			}
+			times[s.key] = tn
+			if s.key == "damaris" {
+				dam = tn
+			}
+		}
+		for _, s := range strategies {
+			paper := ""
+			if cores == 9216 {
+				switch s.key {
+				case "fpp":
+					paper = "≈1.54x damaris (35% cut)"
+				case "collective":
+					paper = "≈3.5x damaris"
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(cores), s.label, seconds(times[s.key]),
+				fmt.Sprintf("%.2fx", times[s.key]/dam), paper,
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig5a — dedicated-core write time vs spare time per iteration on Kraken.
+func fig5a(seed int64) (Table, error) {
+	return fig5(cluster.Kraken(), "fig5a", krakenScales, nil, seed)
+}
+
+// fig5b — same on BluePrint across data volumes.
+func fig5b(seed int64) (Table, error) {
+	return fig5(cluster.BluePrint(), "fig5b", nil, []float64{3.5, 7.6, 15.3, 30.7}, seed)
+}
+
+func fig5(plat cluster.Platform, id string, scales []int, volumesGB []float64, seed int64) (Table, error) {
+	t := Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Dedicated-core write vs spare time per iteration on %s", plat.Name),
+		Columns: []string{"point", "write (s)", "spare (s)", "spare %", "paper"},
+		Notes: []string{
+			"paper: dedicated cores stay idle 75%-99% of the time on all platforms",
+		},
+	}
+	interval := 50 * plat.IterationSeconds
+	addRow := func(label string, opt iostrat.Options) error {
+		rs, err := iostrat.Phases("damaris", plat, opt, phasesPerPoint)
+		if err != nil {
+			return err
+		}
+		var busys []float64
+		for _, r := range rs {
+			busys = append(busys, stats.Mean(r.DedicatedBusySeconds))
+		}
+		busy := stats.Mean(busys)
+		spare := interval - busy
+		t.Rows = append(t.Rows, []string{
+			label, seconds(busy), seconds(spare),
+			fmt.Sprintf("%.0f%%", 100*spare/interval), "idle 75-99%",
+		})
+		return nil
+	}
+	for _, cores := range scales {
+		if err := addRow(fmt.Sprintf("%d cores", cores),
+			iostrat.Options{Cores: cores, Seed: seed, Interference: true}); err != nil {
+			return Table{}, err
+		}
+	}
+	for _, gb := range volumesGB {
+		per := gb * 1e9 / 1024
+		if err := addRow(fmt.Sprintf("%.1f GB", gb),
+			iostrat.Options{Cores: 1024, Seed: seed, Interference: true, BytesPerCore: per}); err != nil {
+			return Table{}, err
+		}
+	}
+	return t, nil
+}
+
+// fig6 — average aggregate throughput on Kraken, §IV-C3.
+func fig6(seed int64) (Table, error) {
+	plat := cluster.Kraken()
+	t := Table{
+		ID:      "fig6",
+		Title:   "Average aggregate throughput on Kraken",
+		Columns: []string{"cores", "strategy", "throughput", "vs damaris", "paper"},
+		Notes: []string{
+			"paper @9216: Damaris ≈6x file-per-process and ≈15x collective-I/O",
+		},
+	}
+	for _, cores := range krakenScales {
+		var dam float64
+		row := make(map[string]float64, len(strategies))
+		for _, s := range strategies {
+			rs, err := iostrat.Phases(s.key, plat,
+				iostrat.Options{Cores: cores, Seed: seed, Interference: true}, phasesPerPoint)
+			if err != nil {
+				return Table{}, err
+			}
+			row[s.key] = stats.Mean(iostrat.AggregateBps(rs))
+			if s.key == "damaris" {
+				dam = row[s.key]
+			}
+		}
+		for _, s := range strategies {
+			paper := ""
+			if cores == 9216 {
+				switch s.key {
+				case "fpp":
+					paper = "damaris/6"
+				case "collective":
+					paper = "damaris/15"
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(cores), s.label, gbps(row[s.key]),
+				fmt.Sprintf("%.2f", row[s.key]/dam), paper,
+			})
+		}
+	}
+	return t, nil
+}
+
+// table1 — average aggregate throughput on Grid'5000, 672 cores (Table I).
+func table1(seed int64) (Table, error) {
+	plat := cluster.Grid5000()
+	t := Table{
+		ID:      "table1",
+		Title:   "Average aggregate throughput on Grid'5000, CM1 on 672 cores (paper Table I)",
+		Columns: []string{"strategy", "measured", "paper"},
+	}
+	paper := map[string]string{
+		"fpp":        "695 MB/s",
+		"collective": "636 MB/s",
+		"damaris":    "4.32 GB/s",
+	}
+	for _, s := range strategies {
+		rs, err := iostrat.Phases(s.key, plat,
+			iostrat.Options{Cores: 672, Seed: seed}, phasesPerPoint)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			s.label, gbps(stats.Mean(iostrat.AggregateBps(rs))), paper[s.key],
+		})
+	}
+	return t, nil
+}
+
+// fig7 — dedicated-core write time with compression and with scheduling.
+func fig7(seed int64) (Table, error) {
+	t := Table{
+		ID:      "fig7",
+		Title:   "Write time in the dedicated cores: plain vs compression vs scheduling",
+		Columns: []string{"platform", "variant", "write (s)", "paper"},
+		Notes: []string{
+			"paper: scheduling reduces dedicated-core write time on both platforms; gzip adds overhead on Kraken (slow cores) but not on Grid'5000",
+		},
+	}
+	points := []struct {
+		plat  cluster.Platform
+		cores int
+	}{
+		{cluster.Kraken(), 2304},
+		{cluster.Grid5000(), 912},
+	}
+	variants := []struct {
+		label string
+		mod   func(*iostrat.Options)
+		paper string
+	}{
+		{"plain", func(*iostrat.Options) {}, ""},
+		{"compression", func(o *iostrat.Options) { o.Compression = true }, "overhead on Kraken only"},
+		{"scheduling", func(o *iostrat.Options) { o.Scheduling = true }, "reduced on both"},
+	}
+	for _, pt := range points {
+		for _, v := range variants {
+			opt := iostrat.Options{Cores: pt.cores, Seed: seed}
+			v.mod(&opt)
+			rs, err := iostrat.Phases("damaris", pt.plat, opt, phasesPerPoint)
+			if err != nil {
+				return Table{}, err
+			}
+			var busys []float64
+			for _, r := range rs {
+				busys = append(busys, stats.Mean(r.DedicatedBusySeconds))
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%s@%d", pt.plat.Name, pt.cores), v.label,
+				seconds(stats.Mean(busys)), v.paper,
+			})
+		}
+	}
+	return t, nil
+}
+
+// schedulingExp — §IV-D: aggregate throughput on 2304 Kraken cores, with
+// and without transfer scheduling (paper: 9.7 -> 13.1 GB/s).
+func schedulingExp(seed int64) (Table, error) {
+	plat := cluster.Kraken()
+	t := Table{
+		ID:      "scheduling",
+		Title:   "Damaris aggregate throughput on 2304 Kraken cores with transfer scheduling (§IV-D)",
+		Columns: []string{"variant", "measured", "paper"},
+	}
+	for _, v := range []struct {
+		label string
+		sched bool
+		paper string
+	}{
+		{"unscheduled", false, "9.7 GB/s"},
+		{"scheduled", true, "13.1 GB/s"},
+	} {
+		rs, err := iostrat.Phases("damaris", plat,
+			iostrat.Options{Cores: 2304, Seed: seed, Scheduling: v.sched}, phasesPerPoint)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{v.label, gbps(stats.Mean(iostrat.AggregateBps(rs))), v.paper})
+	}
+	return t, nil
+}
+
+// modelVA — §V-A: the break-even I/O fraction p = 100/(N-1) above which
+// dedicating one core per node wins, cross-checked against the simulator.
+func modelVA(seed int64) (Table, error) {
+	t := Table{
+		ID:      "model",
+		Title:   "Break-even I/O share for dedicating one core (analytic, §V-A: p = 100/(N-1) %)",
+		Columns: []string{"cores/node", "p analytic", "standard time", "damaris time", "damaris wins"},
+		Notes: []string{
+			"times for a unit compute phase with exactly break-even I/O share; at p the two approaches tie",
+			"paper example: N=24 -> p=4.35%, under the commonly-accepted 5% I/O budget",
+		},
+	}
+	for _, n := range []int{4, 8, 12, 16, 24, 32} {
+		p := 100 / float64(n-1)
+		// With compute C on N cores and I/O share p: standard time =
+		// C + W where W = p/100*C... the paper defines p as the I/O
+		// fraction making Wstd + Cstd = Cded; Cded = C*N/(N-1).
+		c := 1.0
+		w := p / 100 * c
+		std := c + w
+		ded := c * float64(n) / float64(n-1)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprintf("%.2f%%", p),
+			fmt.Sprintf("%.4f", std), fmt.Sprintf("%.4f", ded),
+			fmt.Sprintf("%v", ded <= std*(1+1e-9)),
+		})
+	}
+	return t, nil
+}

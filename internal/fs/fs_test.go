@@ -1,0 +1,224 @@
+package fs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"damaris/internal/sim"
+)
+
+func quietLustre() Config {
+	c := Lustre(336, 90e6)
+	c.NoiseSigma = 0
+	c.EffHalf = 0 // disable degradation for deterministic unit tests
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := quietLustre()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.MetadataServers = 0 },
+		func(c *Config) { c.Targets = 0 },
+		func(c *Config) { c.TargetBandwidth = 0 },
+		func(c *Config) { c.CreateCost = -1 },
+		func(c *Config) { c.LockCost = -1 },
+		func(c *Config) { c.DefaultStripes = 0 },
+		func(c *Config) { c.DefaultStripes = c.Targets + 1 },
+	}
+	for i, mod := range cases {
+		c := quietLustre()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, c := range []Config{Lustre(336, 90e6), PVFS(15, 300e6), GPFS(8, 400e6)} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	if Lustre(336, 90e6).MetadataServers != 1 {
+		t.Error("Lustre must have a single MDS (the paper's bottleneck)")
+	}
+	if PVFS(15, 300e6).LockCost != 0 {
+		t.Error("PVFS must not lock")
+	}
+	if GPFS(8, 400e6).LockCost == 0 {
+		t.Error("GPFS must lock")
+	}
+}
+
+func TestMetadataSerialization(t *testing.T) {
+	// With a single MDS and 10ms creates, N simultaneous creates take N*10ms
+	// — the paper's file-per-process metadata storm.
+	eng := sim.NewEngine()
+	cfg := quietLustre()
+	s, err := New(eng, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	doneAt := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		s.CreateFile(func() { doneAt = append(doneAt, eng.Now()) })
+	}
+	end := eng.Run()
+	if len(doneAt) != n {
+		t.Fatalf("completed %d creates", len(doneAt))
+	}
+	want := float64(n) * cfg.CreateCost
+	if math.Abs(end-want) > 1e-6 {
+		t.Errorf("metadata storm took %v, want %v (serialized)", end, want)
+	}
+	creates, _, _ := s.Stats()
+	if creates != n {
+		t.Errorf("creates = %d", creates)
+	}
+}
+
+func TestDistributedMetadataParallelism(t *testing.T) {
+	// PVFS's distributed metadata serves creates in parallel.
+	eng := sim.NewEngine()
+	cfg := PVFS(15, 300e6)
+	cfg.NoiseSigma = 0
+	s, _ := New(eng, cfg, rand.New(rand.NewSource(1)))
+	const n = 150
+	for i := 0; i < n; i++ {
+		s.CreateFile(nil)
+	}
+	end := eng.Run()
+	want := float64(n) / 15 * cfg.CreateCost
+	if math.Abs(end-want) > 1e-6 {
+		t.Errorf("distributed creates took %v, want %v", end, want)
+	}
+}
+
+func TestLockSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := GPFS(8, 400e6)
+	cfg.NoiseSigma = 0
+	s, _ := New(eng, cfg, rand.New(rand.NewSource(1)))
+	const n = 50
+	for i := 0; i < n; i++ {
+		s.AcquireLock(nil)
+	}
+	end := eng.Run()
+	want := float64(n) * cfg.LockCost
+	if math.Abs(end-want) > 1e-6 {
+		t.Errorf("locks took %v, want %v", end, want)
+	}
+}
+
+func TestLockFreeFS(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := PVFS(15, 300e6)
+	cfg.NoiseSigma = 0
+	s, _ := New(eng, cfg, rand.New(rand.NewSource(1)))
+	fired := false
+	s.AcquireLock(func() { fired = true })
+	end := eng.Run()
+	if !fired || end != 0 {
+		t.Errorf("lock-free acquire should be free: fired=%v end=%v", fired, end)
+	}
+}
+
+func TestStripeWidthCapsRate(t *testing.T) {
+	// A 4-of-336 striped file alone on the pool moves at 4 targets' speed.
+	eng := sim.NewEngine()
+	cfg := quietLustre() // stripes default 4, target 90 MB/s
+	s, _ := New(eng, cfg, rand.New(rand.NewSource(1)))
+	var done float64
+	s.Write(360e6, 0, func() { done = eng.Now() })
+	eng.Run()
+	want := 360e6 / (4 * 90e6)
+	if math.Abs(done-want) > 1e-6 {
+		t.Errorf("striped write took %v, want %v", done, want)
+	}
+}
+
+func TestFullWidthWriteUsesPool(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := quietLustre()
+	s, _ := New(eng, cfg, rand.New(rand.NewSource(1)))
+	var done float64
+	s.Write(30.24e9, cfg.Targets, func() { done = eng.Now() })
+	eng.Run()
+	want := 30.24e9 / (336 * 90e6)
+	if math.Abs(done-want) > 1e-6 {
+		t.Errorf("full-width write took %v, want %v", done, want)
+	}
+}
+
+func TestEfficiencyDegradesAggregate(t *testing.T) {
+	// With the efficiency curve on, many concurrent writers achieve less
+	// aggregate than few — the contention collapse behind the paper's
+	// file-per-process results.
+	agg := func(writers int) float64 {
+		eng := sim.NewEngine()
+		cfg := Lustre(336, 90e6)
+		cfg.NoiseSigma = 0
+		cfg.EffHalf, cfg.EffExp = 400, 1.0
+		s, _ := New(eng, cfg, rand.New(rand.NewSource(1)))
+		per := 24e6
+		for i := 0; i < writers; i++ {
+			s.Write(per, 1, nil)
+		}
+		end := eng.Run()
+		return float64(writers) * per / end
+	}
+	few := agg(64)
+	many := agg(4096)
+	if many >= few {
+		t.Errorf("aggregate with 4096 writers (%.2g) should be below 64 writers (%.2g)", many, few)
+	}
+}
+
+func TestNoiseChangesServiceTimes(t *testing.T) {
+	end := func(seed int64, sigma float64) float64 {
+		eng := sim.NewEngine()
+		cfg := quietLustre()
+		cfg.NoiseSigma = sigma
+		s, _ := New(eng, cfg, rand.New(rand.NewSource(seed)))
+		for i := 0; i < 50; i++ {
+			s.CreateFile(nil)
+		}
+		return eng.Run()
+	}
+	if end(1, 0) != end(2, 0) {
+		t.Error("zero-noise runs must be deterministic")
+	}
+	if end(1, 0.5) == end(2, 0.5) {
+		t.Error("different seeds should produce different noisy runs")
+	}
+	if end(3, 0.5) != end(3, 0.5) {
+		t.Error("same seed must reproduce exactly")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := quietLustre()
+	bad.Targets = 0
+	if _, err := New(eng, bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestOpenSharedCounts(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _ := New(eng, quietLustre(), rand.New(rand.NewSource(1)))
+	s.OpenShared(nil)
+	s.OpenShared(nil)
+	eng.Run()
+	_, opens, _ := s.Stats()
+	if opens != 2 {
+		t.Errorf("opens = %d", opens)
+	}
+}

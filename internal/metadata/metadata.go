@@ -1,0 +1,207 @@
+// Package metadata implements the dedicated core's in-memory catalog of
+// incoming datasets.
+//
+// Paper §III-B, "Metadata management": every variable written by a client is
+// characterized by a tuple ⟨name, iteration, source, layout⟩. "Upon reception
+// of a write-notification, the EPE will add an entry in a metadata structure
+// associating the tuple with the received data. The data stay in shared
+// memory until actions are performed on them." This catalog is that
+// structure: it maps tuples to data handles, answers per-iteration and
+// per-variable queries for actions (persist, compress, statistics), and
+// releases shared-memory blocks once an iteration is flushed.
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"damaris/internal/layout"
+	"damaris/internal/shm"
+)
+
+// Key identifies one written dataset instance.
+type Key struct {
+	Name      string // variable name
+	Iteration int64  // simulation step
+	Source    int    // writer identity (MPI rank)
+}
+
+// Entry associates a Key with its layout and data. Data is normally a
+// shared-memory block; entries carrying an inline copy (e.g. after a
+// transformation) have Block nil and Inline non-nil.
+type Entry struct {
+	Key    Key
+	Layout layout.Layout
+	Block  *shm.Block   // shared-memory handle (nil if inline)
+	Inline []byte       // inline payload (nil if in shared memory)
+	Global layout.Block // position of this piece in the global domain (optional)
+}
+
+// Bytes returns the dataset payload regardless of where it lives.
+func (e *Entry) Bytes() []byte {
+	if e.Block != nil {
+		return e.Block.Data()
+	}
+	return e.Inline
+}
+
+// Size returns the payload size in bytes.
+func (e *Entry) Size() int64 { return int64(len(e.Bytes())) }
+
+// release frees the shared-memory block, if any.
+func (e *Entry) release() {
+	if e.Block != nil {
+		e.Block.Release()
+		e.Block = nil
+	}
+}
+
+// Store is a thread-safe tuple catalog. The zero value is not usable; use
+// NewStore.
+type Store struct {
+	mu      sync.RWMutex
+	entries map[Key]*Entry
+}
+
+// NewStore creates an empty catalog.
+func NewStore() *Store {
+	return &Store{entries: make(map[Key]*Entry)}
+}
+
+// Put registers an entry. Re-writing an existing tuple replaces the previous
+// entry and releases its shared-memory block (a client overwriting the same
+// variable within one iteration).
+func (s *Store) Put(e *Entry) error {
+	if e == nil {
+		return fmt.Errorf("metadata: nil entry")
+	}
+	if e.Key.Name == "" {
+		return fmt.Errorf("metadata: entry with empty variable name")
+	}
+	if e.Block == nil && e.Inline == nil {
+		return fmt.Errorf("metadata: entry %v carries no data", e.Key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[e.Key]; ok {
+		old.release()
+	}
+	s.entries[e.Key] = e
+	return nil
+}
+
+// Get returns the entry for a tuple.
+func (s *Store) Get(k Key) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[k]
+	return e, ok
+}
+
+// Len returns the number of catalogued entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Iteration returns all entries of one iteration, sorted by (name, source)
+// for deterministic persistence order.
+func (s *Store) Iteration(it int64) []*Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Entry
+	for k, e := range s.entries {
+		if k.Iteration == it {
+			out = append(out, e)
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// Variable returns all entries of one variable across iterations and
+// sources, sorted by (iteration, source).
+func (s *Store) Variable(name string) []*Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Entry
+	for k, e := range s.entries {
+		if k.Name == name {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Iteration != out[j].Key.Iteration {
+			return out[i].Key.Iteration < out[j].Key.Iteration
+		}
+		return out[i].Key.Source < out[j].Key.Source
+	})
+	return out
+}
+
+// Iterations lists the distinct iterations present, ascending.
+func (s *Store) Iterations() []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[int64]bool)
+	for k := range s.entries {
+		seen[k.Iteration] = true
+	}
+	out := make([]int64, 0, len(seen))
+	for it := range seen {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalBytes sums the payload sizes of all entries of one iteration.
+func (s *Store) TotalBytes(it int64) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for k, e := range s.entries {
+		if k.Iteration == it {
+			total += e.Size()
+		}
+	}
+	return total
+}
+
+// DropIteration removes all entries of an iteration, releasing their
+// shared-memory blocks, and returns how many entries were dropped. Called
+// after the iteration has been persisted.
+func (s *Store) DropIteration(it int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k, e := range s.entries {
+		if k.Iteration == it {
+			e.release()
+			delete(s.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Clear removes everything, releasing all shared-memory blocks.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range s.entries {
+		e.release()
+		delete(s.entries, k)
+	}
+}
+
+func sortEntries(es []*Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Key.Name != es[j].Key.Name {
+			return es[i].Key.Name < es[j].Key.Name
+		}
+		return es[i].Key.Source < es[j].Key.Source
+	})
+}

@@ -1,0 +1,188 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property: AllreduceFloat64s(OpSum) equals the serial sum of all ranks'
+// vectors, for arbitrary sizes, values and world shapes.
+func TestQuickAllreduceSum(t *testing.T) {
+	f := func(seedRaw uint8, lenRaw uint8, vals []float64) bool {
+		p := int(seedRaw%6) + 2 // 2..7 ranks
+		n := int(lenRaw%8) + 1  // 1..8 elements
+		// Build deterministic per-rank vectors from vals.
+		get := func(rank, i int) float64 {
+			if len(vals) == 0 {
+				return float64(rank*31 + i)
+			}
+			v := vals[(rank*n+i)%len(vals)]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return 1
+			}
+			return v
+		}
+		want := make([]float64, n)
+		for r := 0; r < p; r++ {
+			for i := 0; i < n; i++ {
+				want[i] += get(r, i)
+			}
+		}
+		ok := true
+		var mu sync.Mutex
+		err := Run(p, p, func(c *Comm) {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = get(c.Rank(), i)
+			}
+			got := c.AllreduceFloat64s(xs, OpSum)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+					return
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Allgather returns every rank's contribution at every rank, in
+// rank order, for arbitrary world shapes.
+func TestQuickAllgather(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		ok := true
+		var mu sync.Mutex
+		err := Run(p, p, func(c *Comm) {
+			all := c.Allgather(c.Rank() * 7)
+			for r := 0; r < p; r++ {
+				if all[r].(int) != r*7 {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+					return
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Alltoall is a transpose — what rank i receives from rank j is
+// what j addressed to i.
+func TestQuickAlltoallTranspose(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		p := int(pRaw%6) + 1
+		ok := true
+		var mu sync.Mutex
+		err := Run(p, p, func(c *Comm) {
+			vs := make([]any, p)
+			for i := range vs {
+				vs[i] = [2]int{c.Rank(), i}
+			}
+			got := c.Alltoall(vs)
+			for src := 0; src < p; src++ {
+				pair := got[src].([2]int)
+				if pair[0] != src || pair[1] != c.Rank() {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+					return
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Split partitions ranks into groups exactly matching the color
+// assignment, ordered by key, for arbitrary color/key maps.
+func TestQuickSplitPartition(t *testing.T) {
+	f := func(colRaw []uint8) bool {
+		if len(colRaw) == 0 || len(colRaw) > 12 {
+			return true
+		}
+		p := len(colRaw)
+		colors := make([]int, p)
+		for i, c := range colRaw {
+			colors[i] = int(c % 3) // 3 colors
+		}
+		type res struct{ color, subRank, subSize int }
+		results := make([]res, p)
+		var mu sync.Mutex
+		err := Run(p, p, func(c *Comm) {
+			sub := c.Split(colors[c.Rank()], -c.Rank()) // key reverses order
+			mu.Lock()
+			results[c.Rank()] = res{colors[c.Rank()], sub.Rank(), sub.Size()}
+			mu.Unlock()
+		})
+		if err != nil {
+			return false
+		}
+		// Group sizes must match color multiplicity, and within a group
+		// ranks must be ordered by key (= reversed world rank).
+		for color := 0; color < 3; color++ {
+			var members []int
+			for r := 0; r < p; r++ {
+				if colors[r] == color {
+					members = append(members, r)
+				}
+			}
+			for i, r := range members {
+				got := results[r]
+				if got.subSize != len(members) {
+					return false
+				}
+				// key = -rank: higher world rank gets lower sub rank.
+				wantRank := len(members) - 1 - i
+				if got.subRank != wantRank {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bcast from any root delivers the root's value everywhere.
+func TestQuickBcastAnyRoot(t *testing.T) {
+	f := func(pRaw, rootRaw uint8) bool {
+		p := int(pRaw%9) + 1
+		root := int(rootRaw) % p
+		ok := true
+		var mu sync.Mutex
+		err := Run(p, p, func(c *Comm) {
+			var v any
+			if c.Rank() == root {
+				v = root*1000 + 7
+			}
+			got := c.Bcast(root, v)
+			if got.(int) != root*1000+7 {
+				mu.Lock()
+				ok = false
+				mu.Unlock()
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package plugin
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterAndGet(t *testing.T) {
+	r := NewRegistry()
+	called := false
+	if err := r.Register("persist", func(*Context, string) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := r.Get("persist")
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if err := a(&Context{}, "ev"); err != nil || !called {
+		t.Error("action not invoked")
+	}
+	if _, ok := r.Get("ghost"); ok {
+		t.Error("unknown action should not resolve")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", func(*Context, string) error { return nil }); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := r.Register("x", nil); err == nil {
+		t.Error("nil action must fail")
+	}
+	if err := r.Register("a", func(*Context, string) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("a", func(*Context, string) error { return nil }); err == nil {
+		t.Error("duplicate must fail")
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("ok", func(*Context, string) error { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate MustRegister")
+		}
+	}()
+	r.MustRegister("ok", func(*Context, string) error { return nil })
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("zeta", func(*Context, string) error { return nil })
+	r.MustRegister("alpha", func(*Context, string) error { return nil })
+	names := r.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	if _, ok := r.Get("x"); ok {
+		t.Error("nil registry Get should fail")
+	}
+	if r.Names() != nil {
+		t.Error("nil registry Names should be nil")
+	}
+}
+
+func TestContextValues(t *testing.T) {
+	var c Context
+	if c.Value("k") != nil {
+		t.Error("value on empty context")
+	}
+	c.SetValue("k", 42)
+	if c.Value("k").(int) != 42 {
+		t.Error("SetValue/Value round trip failed")
+	}
+}
+
+func TestActionErrorPropagates(t *testing.T) {
+	r := NewRegistry()
+	boom := errors.New("boom")
+	r.MustRegister("fail", func(*Context, string) error { return boom })
+	a, _ := r.Get("fail")
+	if err := a(&Context{}, "e"); !errors.Is(err, boom) {
+		t.Error("error not propagated")
+	}
+}

@@ -1,0 +1,134 @@
+package schedule
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances only through Sleep.
+type fakeClock struct {
+	now   time.Time
+	slept []time.Duration
+}
+
+func (f *fakeClock) Now() time.Time { return f.now }
+func (f *fakeClock) Sleep(d time.Duration) {
+	f.slept = append(f.slept, d)
+	f.now = f.now.Add(d)
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		index, total int
+		interval     time.Duration
+	}{
+		{0, 0, time.Second},
+		{-1, 4, time.Second},
+		{4, 4, time.Second},
+		{0, 4, 0},
+		{0, 4, -time.Second},
+	}
+	for i, c := range cases {
+		if _, err := New(c.index, c.total, c.interval); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := NewWithClock(0, 1, time.Second, nil); err == nil {
+		t.Error("nil clock should fail")
+	}
+	if _, err := New(3, 4, time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotLayout(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	s, err := NewWithClock(2, 4, 100*time.Second, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SlotWidth() != 25*time.Second {
+		t.Errorf("slot width = %v", s.SlotWidth())
+	}
+	// Iteration 0: slot 2 opens at epoch + 2*25s.
+	want := time.Unix(1050, 0)
+	if got := s.SlotStart(0); !got.Equal(want) {
+		t.Errorf("SlotStart(0) = %v, want %v", got, want)
+	}
+	// Iteration 3: epoch + 3*100 + 50.
+	want = time.Unix(1000+350, 0)
+	if got := s.SlotStart(3); !got.Equal(want) {
+		t.Errorf("SlotStart(3) = %v, want %v", got, want)
+	}
+}
+
+func TestWaitTurnSleepsUntilSlot(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	s, _ := NewWithClock(1, 2, 60*time.Second, clock)
+	s.WaitTurn(0) // slot opens at t=30
+	if len(clock.slept) != 1 || clock.slept[0] != 30*time.Second {
+		t.Errorf("slept %v, want one 30s sleep", clock.slept)
+	}
+	if !clock.now.Equal(time.Unix(30, 0)) {
+		t.Errorf("now = %v", clock.now)
+	}
+}
+
+func TestWaitTurnPastSlotReturnsImmediately(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	s, _ := NewWithClock(0, 2, 60*time.Second, clock)
+	clock.now = time.Unix(45, 0) // slot 0 of iteration 0 long gone
+	s.WaitTurn(0)
+	if len(clock.slept) != 0 {
+		t.Errorf("should not sleep for a past slot, slept %v", clock.slept)
+	}
+}
+
+func TestSlotsDoNotOverlap(t *testing.T) {
+	// Across all indexes, slots within an iteration tile the interval.
+	const total = 8
+	interval := 80 * time.Second
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	var starts []time.Time
+	for idx := 0; idx < total; idx++ {
+		s, err := NewWithClock(idx, total, interval, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetEpoch(time.Unix(0, 0))
+		starts = append(starts, s.SlotStart(5))
+	}
+	for i := 1; i < total; i++ {
+		gap := starts[i].Sub(starts[i-1])
+		if gap != 10*time.Second {
+			t.Errorf("gap %d = %v, want 10s", i, gap)
+		}
+	}
+}
+
+func TestSetEpoch(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(500, 0)}
+	s, _ := NewWithClock(0, 4, 40*time.Second, clock)
+	s.SetEpoch(time.Unix(0, 0))
+	if got := s.SlotStart(1); !got.Equal(time.Unix(40, 0)) {
+		t.Errorf("SlotStart(1) = %v", got)
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	s, err := New(0, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0 of iteration 0 opens at epoch: returns immediately.
+	done := make(chan struct{})
+	go func() {
+		s.WaitTurn(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitTurn hung on real clock")
+	}
+}

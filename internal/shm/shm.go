@@ -1,0 +1,366 @@
+// Package shm implements the intra-node shared-memory buffer through which
+// Damaris clients hand datasets to dedicated cores.
+//
+// In the paper (§III-B, "Shared-memory"): "A large memory buffer is created
+// by the dedicated core at start time, with a size chosen by the user. […]
+// When a compute core submits new data, it reserves a segment of this
+// buffer, then copies its data using the returned pointer". Two reservation
+// algorithms are provided, exactly as in the paper:
+//
+//   - a mutex-based allocator (the Boost.Interprocess default in the
+//     original implementation), here a first-fit free list, and
+//   - a lock-free allocator for the case where "all clients are expected to
+//     write the same amount of data": the buffer is split in as many parts
+//     as clients and each client uses its own region.
+//
+// Within this reproduction, "shared memory" is process memory shared between
+// goroutines that model the cores of one SMP node; the visibility and
+// lifetime rules are the same as for a mapped segment.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by allocators.
+var (
+	// ErrNoSpace is returned when the segment cannot satisfy a reservation.
+	ErrNoSpace = errors.New("shm: not enough free space in segment")
+	// ErrClosed is returned after the segment has been closed.
+	ErrClosed = errors.New("shm: segment closed")
+	// ErrBadSize is returned for non-positive reservation sizes.
+	ErrBadSize = errors.New("shm: reservation size must be positive")
+)
+
+// Block is a reserved region of a segment. The caller copies data into
+// Data() and later releases the block (normally done by the dedicated core
+// once the data has been persisted).
+type Block struct {
+	seg    *Segment
+	offset int64
+	size   int64
+	freed  atomic.Bool
+}
+
+// Data returns the writable byte slice backing the block.
+func (b *Block) Data() []byte { return b.seg.buf[b.offset : b.offset+b.size] }
+
+// Offset returns the block's offset within the segment.
+func (b *Block) Offset() int64 { return b.offset }
+
+// Size returns the block's size in bytes.
+func (b *Block) Size() int64 { return b.size }
+
+// Release returns the block to its allocator. Releasing twice is a no-op.
+func (b *Block) Release() {
+	if b.freed.CompareAndSwap(false, true) {
+		b.seg.alloc.free(b)
+		b.seg.releases.Add(1)
+	}
+}
+
+// Allocator is the reservation strategy used by a Segment.
+type Allocator interface {
+	// reserve claims size bytes for the given client and returns the offset.
+	reserve(client int, size int64) (int64, error)
+	// free returns a block's bytes to the allocator.
+	free(b *Block)
+	// freeBytes reports the bytes currently available (approximate for
+	// lock-free allocators).
+	freeBytes() int64
+	// name identifies the strategy for diagnostics.
+	name() string
+}
+
+// Segment is a node-local shared buffer with an allocation strategy.
+type Segment struct {
+	buf      []byte
+	alloc    Allocator
+	closed   atomic.Bool
+	reserves atomic.Int64
+	releases atomic.Int64
+
+	mu      sync.Mutex
+	waiters []chan struct{}
+}
+
+// Option configures segment creation.
+type Option func(*options)
+
+type options struct {
+	clients  int
+	lockfree bool
+}
+
+// WithLockFree selects the lock-free partitioned allocator for nclients
+// equal-share clients (paper §III-B: used when all clients write the same
+// amount of data per iteration).
+func WithLockFree(nclients int) Option {
+	return func(o *options) {
+		o.lockfree = true
+		o.clients = nclients
+	}
+}
+
+// NewSegment creates a shared segment of the given size. By default the
+// mutex-based first-fit allocator is used; pass WithLockFree to select the
+// partitioned allocator.
+func NewSegment(size int64, opts ...Option) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shm: segment size must be positive, got %d", size)
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Segment{buf: make([]byte, size)}
+	if o.lockfree {
+		if o.clients <= 0 {
+			return nil, fmt.Errorf("shm: lock-free allocator needs at least one client, got %d", o.clients)
+		}
+		a, err := newPartitionedAllocator(size, o.clients)
+		if err != nil {
+			return nil, err
+		}
+		s.alloc = a
+	} else {
+		s.alloc = newMutexAllocator(size)
+	}
+	return s, nil
+}
+
+// Size returns the total size of the segment in bytes.
+func (s *Segment) Size() int64 { return int64(len(s.buf)) }
+
+// FreeBytes returns the bytes currently available for reservation.
+func (s *Segment) FreeBytes() int64 { return s.alloc.freeBytes() }
+
+// AllocatorName identifies the reservation strategy.
+func (s *Segment) AllocatorName() string { return s.alloc.name() }
+
+// Reserves returns the total number of successful reservations.
+func (s *Segment) Reserves() int64 { return s.reserves.Load() }
+
+// Releases returns the total number of block releases.
+func (s *Segment) Releases() int64 { return s.releases.Load() }
+
+// Reserve claims size bytes on behalf of client (the client's node-local
+// index; only meaningful for the partitioned allocator). It returns
+// ErrNoSpace when the segment is full — callers that prefer to block should
+// use ReserveWait.
+func (s *Segment) Reserve(client int, size int64) (*Block, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if size <= 0 {
+		return nil, ErrBadSize
+	}
+	off, err := s.alloc.reserve(client, size)
+	if err != nil {
+		return nil, err
+	}
+	s.reserves.Add(1)
+	return &Block{seg: s, offset: off, size: size}, nil
+}
+
+// ReserveWait behaves like Reserve but blocks until space becomes available
+// (a block is released) or the segment is closed. This models the client
+// stalling when the dedicated core has fallen behind — the paper's
+// back-pressure regime when I/O cannot keep up with output frequency.
+func (s *Segment) ReserveWait(client int, size int64) (*Block, error) {
+	for {
+		b, err := s.Reserve(client, size)
+		if err == nil {
+			return b, nil
+		}
+		if !errors.Is(err, ErrNoSpace) {
+			return nil, err
+		}
+		if size > s.Size() {
+			return nil, fmt.Errorf("shm: reservation of %d bytes can never fit segment of %d bytes: %w",
+				size, s.Size(), ErrNoSpace)
+		}
+		ch := make(chan struct{})
+		s.mu.Lock()
+		s.waiters = append(s.waiters, ch)
+		s.mu.Unlock()
+		// Re-check after registering to avoid a lost wakeup.
+		if b, err := s.Reserve(client, size); err == nil {
+			s.notifyAll()
+			return b, nil
+		} else if !errors.Is(err, ErrNoSpace) {
+			return nil, err
+		}
+		<-ch
+		if s.closed.Load() {
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (s *Segment) notifyAll() {
+	s.mu.Lock()
+	ws := s.waiters
+	s.waiters = nil
+	s.mu.Unlock()
+	for _, ch := range ws {
+		close(ch)
+	}
+}
+
+// Close marks the segment closed and wakes all waiters. Outstanding blocks
+// remain readable; new reservations fail with ErrClosed.
+func (s *Segment) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.notifyAll()
+	}
+}
+
+// hook used by Block.Release to wake ReserveWait callers.
+func (s *Segment) blockReleased() { s.notifyAll() }
+
+// ---------------------------------------------------------------------------
+// Mutex-based first-fit allocator (Boost-default analogue).
+
+type span struct {
+	off, size int64
+}
+
+type mutexAllocator struct {
+	mu    sync.Mutex
+	spans []span // sorted by offset, coalesced
+	avail int64
+}
+
+func newMutexAllocator(size int64) *mutexAllocator {
+	return &mutexAllocator{spans: []span{{0, size}}, avail: size}
+}
+
+func (a *mutexAllocator) name() string { return "mutex-first-fit" }
+
+func (a *mutexAllocator) freeBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.avail
+}
+
+func (a *mutexAllocator) reserve(_ int, size int64) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.spans {
+		if a.spans[i].size >= size {
+			off := a.spans[i].off
+			a.spans[i].off += size
+			a.spans[i].size -= size
+			if a.spans[i].size == 0 {
+				a.spans = append(a.spans[:i], a.spans[i+1:]...)
+			}
+			a.avail -= size
+			return off, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (a *mutexAllocator) free(b *Block) {
+	a.mu.Lock()
+	// Insert keeping offset order, then coalesce with neighbours.
+	i := 0
+	for i < len(a.spans) && a.spans[i].off < b.offset {
+		i++
+	}
+	a.spans = append(a.spans, span{})
+	copy(a.spans[i+1:], a.spans[i:])
+	a.spans[i] = span{b.offset, b.size}
+	// Coalesce right.
+	if i+1 < len(a.spans) && a.spans[i].off+a.spans[i].size == a.spans[i+1].off {
+		a.spans[i].size += a.spans[i+1].size
+		a.spans = append(a.spans[:i+1], a.spans[i+2:]...)
+	}
+	// Coalesce left.
+	if i > 0 && a.spans[i-1].off+a.spans[i-1].size == a.spans[i].off {
+		a.spans[i-1].size += a.spans[i].size
+		a.spans = append(a.spans[:i], a.spans[i+1:]...)
+	}
+	a.avail += b.size
+	a.mu.Unlock()
+	b.seg.blockReleased()
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free partitioned allocator.
+//
+// The buffer is split into one fixed region per client; each client bumps a
+// private cursor (a bump allocator). The region is recycled — cursor reset to
+// zero — on the owner's next reservation once every outstanding block has
+// been released by the dedicated core. Contract: reservations for a given
+// client index are issued by a single goroutine (one compute core = one
+// client), which is exactly the Damaris usage; releases may come from any
+// goroutine.
+
+type partition struct {
+	base, size int64
+	cursor     atomic.Int64 // bytes handed out since last reset (owner-written)
+	live       atomic.Int64 // outstanding (unreleased) bytes
+}
+
+type partitionedAllocator struct {
+	parts []partition
+}
+
+func newPartitionedAllocator(size int64, clients int) (*partitionedAllocator, error) {
+	per := size / int64(clients)
+	if per <= 0 {
+		return nil, fmt.Errorf("shm: segment of %d bytes too small for %d client partitions", size, clients)
+	}
+	a := &partitionedAllocator{parts: make([]partition, clients)}
+	for i := range a.parts {
+		a.parts[i].base = int64(i) * per
+		a.parts[i].size = per
+	}
+	return a, nil
+}
+
+func (a *partitionedAllocator) name() string { return "lock-free-partitioned" }
+
+func (a *partitionedAllocator) freeBytes() int64 {
+	var total int64
+	for i := range a.parts {
+		total += a.parts[i].size - a.parts[i].cursor.Load()
+	}
+	return total
+}
+
+func (a *partitionedAllocator) reserve(client int, size int64) (int64, error) {
+	if client < 0 || client >= len(a.parts) {
+		return 0, fmt.Errorf("shm: client %d out of range for %d partitions", client, len(a.parts))
+	}
+	p := &a.parts[client]
+	// Recycle the region if every previously reserved block has been
+	// released. Safe without locks: only the owning goroutine reserves from
+	// this partition, and live==0 means no release is still pending.
+	if p.live.Load() == 0 && p.cursor.Load() != 0 {
+		p.cursor.Store(0)
+	}
+	cur := p.cursor.Load()
+	if cur+size > p.size {
+		return 0, ErrNoSpace
+	}
+	p.cursor.Store(cur + size)
+	p.live.Add(size)
+	return p.base + cur, nil
+}
+
+func (a *partitionedAllocator) free(b *Block) {
+	// Locate the owning partition by offset.
+	per := a.parts[0].size
+	idx := int(b.offset / per)
+	if idx >= len(a.parts) {
+		idx = len(a.parts) - 1
+	}
+	a.parts[idx].live.Add(-b.size)
+	b.seg.blockReleased()
+}

@@ -1,0 +1,351 @@
+package shm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewSegmentValidation(t *testing.T) {
+	if _, err := NewSegment(0); err == nil {
+		t.Error("expected error for zero size")
+	}
+	if _, err := NewSegment(-5); err == nil {
+		t.Error("expected error for negative size")
+	}
+	if _, err := NewSegment(100, WithLockFree(0)); err == nil {
+		t.Error("expected error for zero clients")
+	}
+	if _, err := NewSegment(3, WithLockFree(10)); err == nil {
+		t.Error("expected error when partitions round to zero bytes")
+	}
+}
+
+func TestMutexReserveRelease(t *testing.T) {
+	s, err := NewSegment(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AllocatorName() != "mutex-first-fit" {
+		t.Errorf("allocator = %q", s.AllocatorName())
+	}
+	b1, err := s.Reserve(0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.Reserve(0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Offset() == b2.Offset() {
+		t.Error("blocks must not alias")
+	}
+	if s.FreeBytes() != 512 {
+		t.Errorf("free = %d, want 512", s.FreeBytes())
+	}
+	copy(b1.Data(), []byte("hello"))
+	if string(b1.Data()[:5]) != "hello" {
+		t.Error("data not visible through block")
+	}
+	b1.Release()
+	b1.Release() // double release is a no-op
+	if s.FreeBytes() != 768 {
+		t.Errorf("free after release = %d, want 768", s.FreeBytes())
+	}
+	b2.Release()
+	if s.FreeBytes() != 1024 {
+		t.Errorf("free after all released = %d, want 1024", s.FreeBytes())
+	}
+	if s.Reserves() != 2 || s.Releases() != 2 {
+		t.Errorf("counters = %d/%d, want 2/2", s.Reserves(), s.Releases())
+	}
+}
+
+func TestMutexCoalescing(t *testing.T) {
+	s, _ := NewSegment(300)
+	a, _ := s.Reserve(0, 100)
+	b, _ := s.Reserve(0, 100)
+	c, _ := s.Reserve(0, 100)
+	if _, err := s.Reserve(0, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("expected ErrNoSpace, got %v", err)
+	}
+	// Release out of order; the free list must coalesce back to one span.
+	a.Release()
+	c.Release()
+	b.Release()
+	if _, err := s.Reserve(0, 300); err != nil {
+		t.Fatalf("segment did not coalesce: %v", err)
+	}
+}
+
+func TestReserveErrors(t *testing.T) {
+	s, _ := NewSegment(64)
+	if _, err := s.Reserve(0, 0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("zero size: %v", err)
+	}
+	if _, err := s.Reserve(0, -3); !errors.Is(err, ErrBadSize) {
+		t.Errorf("negative size: %v", err)
+	}
+	if _, err := s.Reserve(0, 65); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("oversize: %v", err)
+	}
+	s.Close()
+	if _, err := s.Reserve(0, 8); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed: %v", err)
+	}
+}
+
+func TestPartitionedBasic(t *testing.T) {
+	s, err := NewSegment(400, WithLockFree(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AllocatorName() != "lock-free-partitioned" {
+		t.Errorf("allocator = %q", s.AllocatorName())
+	}
+	// Each client owns 100 bytes.
+	b0, err := s.Reserve(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0.Offset() != 0 {
+		t.Errorf("client 0 offset = %d", b0.Offset())
+	}
+	b3, err := s.Reserve(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.Offset() != 300 {
+		t.Errorf("client 3 offset = %d", b3.Offset())
+	}
+	// Client 0 partition is now full.
+	if _, err := s.Reserve(0, 1); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("expected ErrNoSpace, got %v", err)
+	}
+	// Releasing recycles on the next reserve.
+	b0.Release()
+	b0b, err := s.Reserve(0, 100)
+	if err != nil {
+		t.Fatalf("partition did not recycle: %v", err)
+	}
+	if b0b.Offset() != 0 {
+		t.Errorf("recycled offset = %d, want 0", b0b.Offset())
+	}
+	if _, err := s.Reserve(7, 10); err == nil {
+		t.Error("expected out-of-range client error")
+	}
+	if _, err := s.Reserve(-1, 10); err == nil {
+		t.Error("expected negative client error")
+	}
+}
+
+func TestPartitionedIsolation(t *testing.T) {
+	// One client exhausting its partition must not affect the others.
+	s, _ := NewSegment(1000, WithLockFree(10))
+	for i := 0; i < 10; i++ {
+		if _, err := s.Reserve(0, 10); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+	}
+	if _, err := s.Reserve(0, 1); !errors.Is(err, ErrNoSpace) {
+		t.Error("client 0 should be exhausted")
+	}
+	for c := 1; c < 10; c++ {
+		if _, err := s.Reserve(c, 100); err != nil {
+			t.Errorf("client %d should be unaffected: %v", c, err)
+		}
+	}
+}
+
+func TestReserveWaitUnblocks(t *testing.T) {
+	s, _ := NewSegment(128)
+	b, _ := s.Reserve(0, 128)
+	done := make(chan *Block)
+	go func() {
+		nb, err := s.ReserveWait(0, 64)
+		if err != nil {
+			t.Errorf("ReserveWait: %v", err)
+		}
+		done <- nb
+	}()
+	select {
+	case <-done:
+		t.Fatal("ReserveWait returned before space was freed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release()
+	select {
+	case nb := <-done:
+		if nb == nil {
+			t.Fatal("nil block")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ReserveWait did not unblock after release")
+	}
+}
+
+func TestReserveWaitImpossible(t *testing.T) {
+	s, _ := NewSegment(64)
+	if _, err := s.ReserveWait(0, 65); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("expected ErrNoSpace for impossible request, got %v", err)
+	}
+}
+
+func TestReserveWaitClosed(t *testing.T) {
+	s, _ := NewSegment(64)
+	_, _ = s.Reserve(0, 64)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.ReserveWait(0, 32)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("expected ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ReserveWait did not observe Close")
+	}
+}
+
+func TestConcurrentMutexAllocator(t *testing.T) {
+	// Many goroutines reserving and releasing concurrently; validate no two
+	// live blocks ever overlap by writing a unique pattern and re-reading.
+	s, _ := NewSegment(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b, err := s.ReserveWait(int(id), 128)
+				if err != nil {
+					t.Errorf("reserve: %v", err)
+					return
+				}
+				for j := range b.Data() {
+					b.Data()[j] = id
+				}
+				for j := range b.Data() {
+					if b.Data()[j] != id {
+						t.Errorf("corruption: blocks overlap")
+						return
+					}
+				}
+				b.Release()
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+	if s.FreeBytes() != s.Size() {
+		t.Errorf("free = %d after all released, want %d", s.FreeBytes(), s.Size())
+	}
+}
+
+func TestConcurrentPartitioned(t *testing.T) {
+	const clients = 8
+	s, _ := NewSegment(clients*1024, WithLockFree(clients))
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b, err := s.ReserveWait(id, 512)
+				if err != nil {
+					t.Errorf("client %d: %v", id, err)
+					return
+				}
+				pat := byte(id + 1)
+				for j := range b.Data() {
+					b.Data()[j] = pat
+				}
+				// Release from another goroutine, as the dedicated core would.
+				go func() {
+					for j := range b.Data() {
+						if b.Data()[j] != pat {
+							t.Error("cross-partition corruption")
+							return
+						}
+					}
+					b.Release()
+				}()
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Property: any sequence of mutex-allocator reservations yields
+// non-overlapping, in-bounds blocks.
+func TestQuickMutexNoOverlap(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s, err := NewSegment(1 << 15)
+		if err != nil {
+			return false
+		}
+		type iv struct{ lo, hi int64 }
+		var live []iv
+		for _, raw := range sizes {
+			size := int64(raw%2048) + 1
+			b, err := s.Reserve(0, size)
+			if errors.Is(err, ErrNoSpace) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			lo, hi := b.Offset(), b.Offset()+b.Size()
+			if lo < 0 || hi > s.Size() {
+				return false
+			}
+			for _, o := range live {
+				if lo < o.hi && o.lo < hi {
+					return false
+				}
+			}
+			live = append(live, iv{lo, hi})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: partitioned allocator keeps every block inside its client's
+// region.
+func TestQuickPartitionedBounds(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		const clients = 4
+		const per = 4096
+		s, err := NewSegment(clients*per, WithLockFree(clients))
+		if err != nil {
+			return false
+		}
+		for i, raw := range reqs {
+			client := i % clients
+			size := int64(raw%512) + 1
+			b, err := s.Reserve(client, size)
+			if errors.Is(err, ErrNoSpace) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			base := int64(client) * per
+			if b.Offset() < base || b.Offset()+b.Size() > base+per {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

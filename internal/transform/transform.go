@@ -1,0 +1,233 @@
+// Package transform provides the data transformations Damaris dedicated
+// cores run during their spare time.
+//
+// Paper §IV-D, "Potential use of spare time": "Using lossless gzip
+// compression on the 3D arrays, we observed a compression ratio of 187%.
+// When writing data for offline visualization, the floating point precision
+// can also be reduced to 16 bits, leading to nearly 600% compression ratio
+// when coupling with gzip." This package implements both: gzip (stdlib
+// compress/gzip), 16-bit scale-offset precision reduction for float32
+// fields, and a byte-shuffle filter that improves float compressibility
+// (the standard HDF5 shuffle trick). It also provides min/max chunk
+// indexing, one of the "smart actions" (§III-A) dedicated cores can run.
+package transform
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// CompressGzip compresses b at the given gzip level (gzip.DefaultCompression
+// when level is 0).
+func CompressGzip(b []byte, level int) ([]byte, error) {
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	var out bytes.Buffer
+	w, err := gzip.NewWriterLevel(&out, level)
+	if err != nil {
+		return nil, fmt.Errorf("transform: gzip: %w", err)
+	}
+	if _, err := w.Write(b); err != nil {
+		return nil, fmt.Errorf("transform: gzip write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("transform: gzip close: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// DecompressGzip reverses CompressGzip.
+func DecompressGzip(b []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("transform: gunzip: %w", err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("transform: gunzip read: %w", err)
+	}
+	return out, nil
+}
+
+// Ratio returns the compression ratio in the paper's convention:
+// raw/compressed expressed as a percentage (187% means the compressed form
+// is 1.87× smaller). Returns 0 when compressed is empty.
+func Ratio(rawSize, compressedSize int) float64 {
+	if compressedSize <= 0 {
+		return 0
+	}
+	return 100 * float64(rawSize) / float64(compressedSize)
+}
+
+// Shuffle rearranges b so that the i-th bytes of every element are stored
+// contiguously (elemSize-way transpose). For floating-point fields whose
+// neighbouring values are close, this groups the nearly-constant exponent
+// bytes together and markedly improves gzip ratios. len(b) must be a
+// multiple of elemSize.
+func Shuffle(b []byte, elemSize int) ([]byte, error) {
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("transform: shuffle element size %d", elemSize)
+	}
+	if len(b)%elemSize != 0 {
+		return nil, fmt.Errorf("transform: shuffle: %d bytes not a multiple of element size %d", len(b), elemSize)
+	}
+	n := len(b) / elemSize
+	out := make([]byte, len(b))
+	for i := 0; i < n; i++ {
+		for j := 0; j < elemSize; j++ {
+			out[j*n+i] = b[i*elemSize+j]
+		}
+	}
+	return out, nil
+}
+
+// Unshuffle reverses Shuffle.
+func Unshuffle(b []byte, elemSize int) ([]byte, error) {
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("transform: unshuffle element size %d", elemSize)
+	}
+	if len(b)%elemSize != 0 {
+		return nil, fmt.Errorf("transform: unshuffle: %d bytes not a multiple of element size %d", len(b), elemSize)
+	}
+	n := len(b) / elemSize
+	out := make([]byte, len(b))
+	for i := 0; i < n; i++ {
+		for j := 0; j < elemSize; j++ {
+			out[i*elemSize+j] = b[j*n+i]
+		}
+	}
+	return out, nil
+}
+
+// reducedMagic guards Reduced16 payloads.
+var reducedMagic = [4]byte{'R', 'D', '1', '6'}
+
+// ReduceFloat32To16 quantizes a float32 field to 16 bits per element using
+// linear scale-offset coding: x ≈ min + q/65535*(max-min). The worst-case
+// absolute error is (max-min)/131070 (half a quantum). The returned payload
+// is self-describing (magic, count, min, max, little-endian uint16 data) so
+// it can round-trip through RestoreFloat32From16.
+//
+// Non-finite inputs are clamped into the finite range observed; an all-NaN
+// or empty field encodes min=max=0.
+func ReduceFloat32To16(xs []float32) []byte {
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, x := range xs {
+		if isFinite32(x) {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	if lo > hi { // no finite values
+		lo, hi = 0, 0
+	}
+	out := make([]byte, 4+8+4+4+2*len(xs))
+	copy(out[0:4], reducedMagic[:])
+	binary.LittleEndian.PutUint64(out[4:], uint64(len(xs)))
+	binary.LittleEndian.PutUint32(out[12:], math.Float32bits(lo))
+	binary.LittleEndian.PutUint32(out[16:], math.Float32bits(hi))
+	span := float64(hi) - float64(lo)
+	for i, x := range xs {
+		var q uint16
+		if span > 0 {
+			v := x
+			if !isFinite32(v) || v < lo {
+				v = lo
+			}
+			if v > hi {
+				v = hi
+			}
+			q = uint16(math.Round((float64(v) - float64(lo)) / span * 65535))
+		}
+		binary.LittleEndian.PutUint16(out[20+2*i:], q)
+	}
+	return out
+}
+
+// RestoreFloat32From16 decodes a payload produced by ReduceFloat32To16.
+func RestoreFloat32From16(b []byte) ([]float32, error) {
+	if len(b) < 20 || !bytes.Equal(b[0:4], reducedMagic[:]) {
+		return nil, fmt.Errorf("transform: not a 16-bit reduced payload")
+	}
+	n := binary.LittleEndian.Uint64(b[4:])
+	if uint64(len(b)) != 20+2*n {
+		return nil, fmt.Errorf("transform: reduced payload length %d does not match count %d", len(b), n)
+	}
+	lo := math.Float32frombits(binary.LittleEndian.Uint32(b[12:]))
+	hi := math.Float32frombits(binary.LittleEndian.Uint32(b[16:]))
+	span := float64(hi) - float64(lo)
+	xs := make([]float32, n)
+	for i := range xs {
+		q := binary.LittleEndian.Uint16(b[20+2*i:])
+		xs[i] = float32(float64(lo) + float64(q)/65535*span)
+	}
+	return xs, nil
+}
+
+// MaxReductionError returns the worst-case absolute error of 16-bit
+// reduction for a field spanning [lo, hi].
+func MaxReductionError(lo, hi float32) float64 {
+	return (float64(hi) - float64(lo)) / 65535 / 2 * 1.0000001 // half quantum + fp slack
+}
+
+func isFinite32(x float32) bool {
+	return !math.IsNaN(float64(x)) && !math.IsInf(float64(x), 0)
+}
+
+// MinMax is one index record covering a chunk of elements.
+type MinMax struct {
+	Offset int // element offset of the chunk
+	Count  int // elements in the chunk
+	Min    float32
+	Max    float32
+}
+
+// IndexFloat32 computes a min/max index over consecutive chunks of
+// chunkElems elements. Such indexes let dedicated cores answer range queries
+// ("which blocks contain updraft > 30 m/s?") without touching the file
+// system — one of the paper's "smart actions" enabled by keeping enriched
+// datasets rather than raw bytes.
+func IndexFloat32(xs []float32, chunkElems int) ([]MinMax, error) {
+	if chunkElems <= 0 {
+		return nil, fmt.Errorf("transform: index chunk size %d", chunkElems)
+	}
+	var idx []MinMax
+	for off := 0; off < len(xs); off += chunkElems {
+		end := off + chunkElems
+		if end > len(xs) {
+			end = len(xs)
+		}
+		mm := MinMax{Offset: off, Count: end - off, Min: xs[off], Max: xs[off]}
+		for _, x := range xs[off+1 : end] {
+			if x < mm.Min {
+				mm.Min = x
+			}
+			if x > mm.Max {
+				mm.Max = x
+			}
+		}
+		idx = append(idx, mm)
+	}
+	return idx, nil
+}
+
+// QueryIndex returns the chunks whose [Min,Max] range intersects [lo,hi].
+func QueryIndex(idx []MinMax, lo, hi float32) []MinMax {
+	var out []MinMax
+	for _, mm := range idx {
+		if mm.Max >= lo && mm.Min <= hi {
+			out = append(out, mm)
+		}
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package transform
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"damaris/internal/mpi"
+)
+
+func TestGzipRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("damaris "), 1000)
+	comp, err := CompressGzip(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(data) {
+		t.Errorf("compression did not shrink repetitive data: %d -> %d", len(data), len(comp))
+	}
+	got, err := DecompressGzip(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestGzipLevels(t *testing.T) {
+	data := bytes.Repeat([]byte{1, 2, 3, 4}, 4096)
+	fast, err := CompressGzip(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := CompressGzip(data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][]byte{fast, best} {
+		got, err := DecompressGzip(c)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Error("level round trip failed")
+		}
+	}
+	if _, err := CompressGzip(data, 42); err == nil {
+		t.Error("invalid level should fail")
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := DecompressGzip([]byte("not gzip at all")); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(187, 100); r != 187 {
+		t.Errorf("Ratio = %v", r)
+	}
+	if Ratio(10, 0) != 0 {
+		t.Error("zero compressed size should give 0")
+	}
+}
+
+func TestShuffleRoundTrip(t *testing.T) {
+	b := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	sh, err := Shuffle(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First bytes of each element: 1, 5, 9.
+	if sh[0] != 1 || sh[1] != 5 || sh[2] != 9 {
+		t.Errorf("shuffle layout wrong: %v", sh)
+	}
+	got, err := Unshuffle(sh, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Error("unshuffle mismatch")
+	}
+}
+
+func TestShuffleErrors(t *testing.T) {
+	if _, err := Shuffle([]byte{1, 2, 3}, 4); err == nil {
+		t.Error("non-multiple length should fail")
+	}
+	if _, err := Shuffle([]byte{1}, 0); err == nil {
+		t.Error("zero element size should fail")
+	}
+	if _, err := Unshuffle([]byte{1, 2, 3}, 2); err == nil {
+		t.Error("unshuffle non-multiple should fail")
+	}
+	if _, err := Unshuffle([]byte{1}, -1); err == nil {
+		t.Error("unshuffle bad size should fail")
+	}
+}
+
+func TestShuffleImprovesFloatCompression(t *testing.T) {
+	// Smooth field: shuffle should make gzip clearly better.
+	xs := make([]float32, 1<<14)
+	for i := range xs {
+		xs[i] = 300 + 5*float32(math.Sin(float64(i)/500))
+	}
+	raw := mpi.Float32sToBytes(xs)
+	plain, _ := CompressGzip(raw, 0)
+	sh, _ := Shuffle(raw, 4)
+	shc, _ := CompressGzip(sh, 0)
+	if len(shc) >= len(plain) {
+		t.Errorf("shuffle did not help: plain=%d shuffled=%d", len(plain), len(shc))
+	}
+}
+
+func TestReduce16RoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float32, 10000)
+	for i := range xs {
+		xs[i] = float32(rng.NormFloat64()*10 + 280)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	enc := ReduceFloat32To16(xs)
+	if len(enc) != 20+2*len(xs) {
+		t.Fatalf("encoded size = %d", len(enc))
+	}
+	got, err := RestoreFloat32From16(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := MaxReductionError(lo, hi)
+	for i := range xs {
+		if e := math.Abs(float64(got[i]) - float64(xs[i])); e > bound {
+			t.Fatalf("element %d error %g exceeds bound %g", i, e, bound)
+		}
+	}
+}
+
+func TestReduce16Degenerate(t *testing.T) {
+	// Constant field.
+	xs := []float32{5, 5, 5}
+	got, err := RestoreFloat32From16(ReduceFloat32To16(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range got {
+		if g != 5 {
+			t.Errorf("constant field decoded to %v", g)
+		}
+	}
+	// Empty field.
+	if got, err := RestoreFloat32From16(ReduceFloat32To16(nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty field: %v, %v", got, err)
+	}
+	// Non-finite values are clamped, not propagated.
+	mixed := []float32{1, float32(math.NaN()), 3, float32(math.Inf(1))}
+	dec, err := RestoreFloat32From16(ReduceFloat32To16(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dec {
+		if math.IsNaN(float64(d)) || math.IsInf(float64(d), 0) {
+			t.Error("non-finite leaked through reduction")
+		}
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	if _, err := RestoreFloat32From16([]byte("short")); err == nil {
+		t.Error("short payload should fail")
+	}
+	enc := ReduceFloat32To16([]float32{1, 2})
+	if _, err := RestoreFloat32From16(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated payload should fail")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := RestoreFloat32From16(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+// Property: 16-bit reduction error never exceeds the documented bound.
+func TestQuickReduce16Bound(t *testing.T) {
+	f := func(raw []float32) bool {
+		xs := make([]float32, 0, len(raw))
+		for _, x := range raw {
+			if isFinite32(x) && math.Abs(float64(x)) < 1e30 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		dec, err := RestoreFloat32From16(ReduceFloat32To16(xs))
+		if err != nil {
+			return false
+		}
+		bound := MaxReductionError(lo, hi) + 1e-6*math.Max(math.Abs(float64(lo)), math.Abs(float64(hi)))
+		for i := range xs {
+			if math.Abs(float64(dec[i])-float64(xs[i])) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shuffle/unshuffle round-trips for arbitrary data and element sizes.
+func TestQuickShuffleRoundTrip(t *testing.T) {
+	f := func(b []byte, esRaw uint8) bool {
+		es := int(esRaw%8) + 1
+		b = b[:len(b)-len(b)%es]
+		sh, err := Shuffle(b, es)
+		if err != nil {
+			return false
+		}
+		got, err := Unshuffle(sh, es)
+		return err == nil && bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexAndQuery(t *testing.T) {
+	xs := []float32{0, 1, 2, 3, 10, 11, 12, 13, -5, -4}
+	idx, err := IndexFloat32(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 {
+		t.Fatalf("chunks = %d", len(idx))
+	}
+	if idx[0].Min != 0 || idx[0].Max != 3 {
+		t.Errorf("chunk 0 = %+v", idx[0])
+	}
+	if idx[2].Offset != 8 || idx[2].Count != 2 || idx[2].Min != -5 {
+		t.Errorf("tail chunk = %+v", idx[2])
+	}
+	hits := QueryIndex(idx, 11, 12)
+	if len(hits) != 1 || hits[0].Offset != 4 {
+		t.Errorf("query hits = %+v", hits)
+	}
+	if got := QueryIndex(idx, 100, 200); got != nil {
+		t.Errorf("out-of-range query = %+v", got)
+	}
+	if _, err := IndexFloat32(xs, 0); err == nil {
+		t.Error("zero chunk size should fail")
+	}
+}
+
+func TestPaperCompressionRatioShape(t *testing.T) {
+	// A CM1-like smooth 3D field should compress by roughly the paper's
+	// 187% with gzip alone and far more with 16-bit reduction + gzip
+	// (paper: ~600%). Synthetic data differs from real storms, so assert
+	// the ordering and generous bounds, not exact values.
+	rng := rand.New(rand.NewSource(42))
+	nx, ny, nz := 64, 64, 20
+	xs := make([]float32, nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				xs[(k*ny+j)*nx+i] = 300 +
+					10*float32(math.Sin(float64(i)/9)*math.Cos(float64(j)/7)) -
+					0.5*float32(k) +
+					float32(rng.NormFloat64()) // turbulent noise
+			}
+		}
+	}
+	raw := mpi.Float32sToBytes(xs)
+	gz, _ := CompressGzip(raw, 0)
+	gzRatio := Ratio(len(raw), len(gz))
+
+	red := ReduceFloat32To16(xs)
+	redSh, _ := Shuffle(red[20:], 2) // shuffle the quantized samples
+	redGz, _ := CompressGzip(redSh, 0)
+	redRatio := Ratio(len(raw), len(redGz))
+
+	if gzRatio < 105 {
+		t.Errorf("gzip ratio = %.0f%%, expected meaningful compression", gzRatio)
+	}
+	if redRatio <= gzRatio {
+		t.Errorf("16-bit+gzip ratio %.0f%% should exceed gzip-only %.0f%%", redRatio, gzRatio)
+	}
+	if redRatio < 200 {
+		t.Errorf("16-bit+gzip ratio = %.0f%%, want at least the 2x from quantization", redRatio)
+	}
+}
