@@ -35,18 +35,22 @@ func main() {
 		compress     = flag.Bool("compress", false, "gzip chunks (damaris and fpp)")
 		bufMB        = flag.Int64("buffer-mb", 64, "per-node shared buffer (MiB)")
 		allocator    = flag.String("allocator", "mutex", "shared-memory allocator: mutex | lockfree")
+		persistWork  = flag.Int("persist-workers", config.DefaultPersistWorkers,
+			"write-behind persist workers per dedicated core (0 = synchronous baseline)")
+		persistQueue = flag.Int("persist-queue", config.DefaultPersistQueueDepth,
+			"in-flight iteration queue depth (also the client flow window when async)")
 	)
 	flag.Parse()
 
 	if err := run(*ranks, *coresPerNode, *steps, *outputEvery, *outDir,
-		*backend, *compress, *bufMB, *allocator); err != nil {
+		*backend, *compress, *bufMB, *allocator, *persistWork, *persistQueue); err != nil {
 		fmt.Fprintln(os.Stderr, "damaris-run:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
-	compress bool, bufMB int64, allocator string) error {
+	compress bool, bufMB int64, allocator string, persistWork, persistQueue int) error {
 	if ranks%coresPerNode != 0 {
 		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
 	}
@@ -67,6 +71,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	var serverWrite []float64
 	var serverSpare []float64
 	var bytesWritten int64
+	var pipeStats []core.PipelineStats
 
 	var cfg *config.Config
 	if backend == "damaris" {
@@ -75,6 +80,11 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		if err != nil {
 			return err
 		}
+		if persistWork < 0 || persistQueue < 1 {
+			return fmt.Errorf("invalid pipeline knobs: workers=%d queue=%d", persistWork, persistQueue)
+		}
+		cfg.PersistWorkers = persistWork
+		cfg.PersistQueueDepth = persistQueue
 	}
 
 	err := mpi.Run(ranks, coresPerNode, func(comm *mpi.Comm) {
@@ -96,6 +106,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 				serverWrite = append(serverWrite, dep.Server.WriteTimes()...)
 				serverSpare = append(serverSpare, dep.Server.SpareSeconds())
 				bytesWritten += dep.Server.BytesWritten()
+				pipeStats = append(pipeStats, dep.Server.PipelineStats())
 				mu.Unlock()
 				return
 			}
@@ -138,7 +149,42 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		ws := stats.Summarize(serverWrite)
 		fmt.Printf("dedicated cores: %d flushes, write mean=%.2gs; spare total=%.2gs; %d bytes persisted\n",
 			ws.N, ws.Mean, stats.Mean(serverSpare), bytesWritten)
+		reportPipeline(pipeStats)
 	}
 	fmt.Printf("output in %s\n", outDir)
 	return nil
+}
+
+// reportPipeline prints the write-behind pipeline's per-stage metrics,
+// aggregated over all dedicated cores.
+func reportPipeline(ps []core.PipelineStats) {
+	if len(ps) == 0 {
+		return
+	}
+	if ps[0].Workers == 0 {
+		fmt.Printf("persistence: synchronous baseline (persist-workers=0)\n")
+		return
+	}
+	var enq, comp, fail int64
+	var maxDepth int
+	var depthMeans, latMeans, latMaxes, utils, batchMeans []float64
+	for _, s := range ps {
+		enq += s.Enqueued
+		comp += s.Completed
+		fail += s.Failures
+		if s.MaxInFlight > maxDepth {
+			maxDepth = s.MaxInFlight
+		}
+		depthMeans = append(depthMeans, s.Depth.Mean)
+		latMeans = append(latMeans, s.FlushLatency.Mean)
+		latMaxes = append(latMaxes, s.FlushLatency.Max)
+		utils = append(utils, s.Utilization)
+		batchMeans = append(batchMeans, s.BatchSize.Mean)
+	}
+	fmt.Printf("pipeline: %d workers x queue %d per core; %d iterations enqueued, %d durable, %d failed\n",
+		ps[0].Workers, ps[0].QueueDepth, enq, comp, fail)
+	fmt.Printf("pipeline: queue depth mean=%.2f max=%d; flush latency mean=%.2gs max=%.2gs\n",
+		stats.Mean(depthMeans), maxDepth, stats.Mean(latMeans), stats.Max(latMaxes))
+	fmt.Printf("pipeline: writer utilization mean=%.1f%%; batch size mean=%.2f\n",
+		100*stats.Mean(utils), stats.Mean(batchMeans))
 }

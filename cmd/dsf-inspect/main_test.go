@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"damaris/internal/dsf"
+	"damaris/internal/layout"
+	"damaris/internal/mpi"
+)
+
+// goldenField is a deterministic float32 payload whose values survive a
+// codec round trip bit-exactly.
+func goldenField(seed int, n int) []float32 {
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(seed)*1000 + float32(i)*0.5
+	}
+	return xs
+}
+
+// writeGolden writes one DSF file with two chunks per codec-irrelevant
+// iteration and returns its path and the payloads by chunk order.
+func writeGolden(t *testing.T, dir string, codec dsf.Codec) (string, [][]float32) {
+	t.Helper()
+	path := filepath.Join(dir, "golden_"+codec.String()+".dsf")
+	path = strings.ReplaceAll(path, "+", "_") // shuffle+gzip → filesystem-safe
+	w, err := dsf.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetAttribute("writer", "golden-test")
+	lay := layout.MustNew(layout.Float32, 16, 8)
+	var fields [][]float32
+	for it := int64(0); it < 2; it++ {
+		for src := 0; src < 2; src++ {
+			field := goldenField(int(it)*10+src, 16*8)
+			fields = append(fields, field)
+			meta := dsf.ChunkMeta{
+				Name:      "theta",
+				Iteration: it,
+				Source:    src,
+				Layout:    lay,
+				Codec:     codec,
+			}
+			if err := w.WriteChunk(meta, mpi.Float32sToBytes(field)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, fields
+}
+
+// TestGoldenRoundTripAllCodecs writes golden files with every codec and
+// round-trips them through the same reader path dsf-inspect uses,
+// verifying chunk-level metadata, checksums and bit-exact payloads.
+func TestGoldenRoundTripAllCodecs(t *testing.T) {
+	dir := t.TempDir()
+	for _, codec := range []dsf.Codec{dsf.None, dsf.Gzip, dsf.ShuffleGzip} {
+		t.Run(codec.String(), func(t *testing.T) {
+			path, fields := writeGolden(t, dir, codec)
+
+			// The inspect entry point itself (verify + stats) must succeed.
+			if err := inspect(path, true, true); err != nil {
+				t.Fatalf("inspect: %v", err)
+			}
+
+			r, err := dsf.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if got := len(r.Chunks()); got != 4 {
+				t.Fatalf("chunks = %d, want 4", got)
+			}
+			if r.Attributes()["writer"] != "golden-test" {
+				t.Errorf("attributes = %v", r.Attributes())
+			}
+			for i, m := range r.Chunks() {
+				if m.Codec != codec {
+					t.Errorf("chunk %d codec = %v, want %v", i, m.Codec, codec)
+				}
+				b, err := r.ReadChunk(i)
+				if err != nil {
+					t.Fatalf("chunk %d: %v", i, err)
+				}
+				if !bytes.Equal(b, mpi.Float32sToBytes(fields[i])) {
+					t.Errorf("chunk %d payload mismatch after %v round trip", i, codec)
+				}
+			}
+			// Compressed codecs must actually compress this smooth field.
+			if codec != dsf.None {
+				for i, m := range r.Chunks() {
+					if m.Stored >= m.RawSize {
+						t.Errorf("chunk %d not compressed: %d -> %d", i, m.RawSize, m.Stored)
+					}
+				}
+			}
+			// Find by tuple, as downstream tools do.
+			if i := r.Find("theta", 1, 1); i < 0 {
+				t.Error("Find lost a tuple")
+			}
+		})
+	}
+}
+
+// corrupt copies src to dst applying f to the file bytes.
+func corrupt(t *testing.T, src, dst string, f func([]byte) []byte) {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, f(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptedAndTruncatedFiles drives every corruption error path of the
+// reader dsf-inspect relies on: truncated footer, bad magics, payload
+// bit-flips caught by CRC, and inconsistent footer geometry.
+func TestCorruptedAndTruncatedFiles(t *testing.T) {
+	dir := t.TempDir()
+	good, _ := writeGolden(t, dir, dsf.ShuffleGzip)
+
+	t.Run("truncated-mid-file", func(t *testing.T) {
+		p := filepath.Join(dir, "truncated.dsf")
+		corrupt(t, good, p, func(b []byte) []byte { return b[:len(b)/2] })
+		if err := inspect(p, true, false); err == nil {
+			t.Error("truncated file should fail to open")
+		}
+	})
+
+	t.Run("truncated-to-header", func(t *testing.T) {
+		p := filepath.Join(dir, "header-only.dsf")
+		corrupt(t, good, p, func(b []byte) []byte { return b[:8] })
+		err := inspect(p, false, false)
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("header-only file error = %v, want truncation", err)
+		}
+	})
+
+	t.Run("bad-head-magic", func(t *testing.T) {
+		p := filepath.Join(dir, "badmagic.dsf")
+		corrupt(t, good, p, func(b []byte) []byte {
+			b[0] ^= 0xFF
+			return b
+		})
+		if err := inspect(p, false, false); err == nil {
+			t.Error("bad header magic should fail")
+		}
+	})
+
+	t.Run("payload-bitflip-caught-by-crc", func(t *testing.T) {
+		p := filepath.Join(dir, "bitflip.dsf")
+		corrupt(t, good, p, func(b []byte) []byte {
+			b[16] ^= 0x01 // inside the first chunk's stored bytes
+			return b
+		})
+		// The TOC is intact, so listing succeeds without -verify...
+		if err := inspect(p, false, false); err != nil {
+			t.Errorf("listing a bit-flipped file should still work, got %v", err)
+		}
+		// ...but -verify must catch the flip through the CRC.
+		err := inspect(p, true, false)
+		if err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("verify error = %v, want checksum mismatch", err)
+		}
+	})
+
+	t.Run("footer-geometry-lie", func(t *testing.T) {
+		p := filepath.Join(dir, "badfooter.dsf")
+		corrupt(t, good, p, func(b []byte) []byte {
+			// Footer layout: [toc offset][toc length][magic]; shrink the
+			// recorded toc length so offset+len+24 != file size.
+			b[len(b)-16] ^= 0x04
+			return b
+		})
+		if err := inspect(p, false, false); err == nil {
+			t.Error("inconsistent footer should fail")
+		}
+	})
+
+	t.Run("not-a-dsf-file", func(t *testing.T) {
+		p := filepath.Join(dir, "noise.dsf")
+		if err := os.WriteFile(p, []byte("this is not a dsf file at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := inspect(p, false, false); err == nil {
+			t.Error("arbitrary bytes should fail to open")
+		}
+	})
+
+	t.Run("missing-file", func(t *testing.T) {
+		if err := inspect(filepath.Join(dir, "nope.dsf"), false, false); err == nil {
+			t.Error("missing file should fail")
+		}
+	})
+}

@@ -1,0 +1,146 @@
+// pipeline demonstrates the dedicated core's asynchronous write-behind
+// persistence pipeline: the same workload runs against a deliberately slow
+// persister three times — synchronous baseline, single writer, and four
+// writers with a deep queue — showing client-side iteration time decouple
+// from persist latency exactly as the paper promises for dedicated-core
+// I/O ("the time to write […] becomes the time of a copy in shared
+// memory", §IV-B), and the pipeline's batching amortize the persister's
+// fixed per-call cost.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"damaris/internal/config"
+	"damaris/internal/core"
+	"damaris/internal/metadata"
+	"damaris/internal/mpi"
+	"damaris/internal/stats"
+)
+
+const (
+	ranks        = 8
+	coresPerNode = 8 // one node: 7 clients + 1 dedicated core
+	iterations   = 30
+	persistDelay = 10 * time.Millisecond // fixed cost per durable call
+)
+
+// slowPersister models a persistency layer dominated by fixed per-call
+// latency (file creation, fsync, parallel-file-system round trip). It
+// implements both the per-iteration and the batched path, so the pipeline
+// can amortize the cost across queued iterations.
+type slowPersister struct {
+	mu    sync.Mutex
+	calls int
+	iters int
+}
+
+func (p *slowPersister) note(iters int) {
+	time.Sleep(persistDelay)
+	p.mu.Lock()
+	p.calls++
+	p.iters += iters
+	p.mu.Unlock()
+}
+
+func (p *slowPersister) Persist(int64, []*metadata.Entry) error {
+	p.note(1)
+	return nil
+}
+
+func (p *slowPersister) PersistBatch(batch []core.IterationBatch) error {
+	p.note(len(batch))
+	return nil
+}
+
+func run(workers, queue int) (clientPhase stats.Summary, ps core.PipelineStats, calls int) {
+	cfgXML := fmt.Sprintf(`
+<simulation>
+  <buffer size="33554432" cores="1"/>
+  <pipeline workers="%d" queue="%d"/>
+  <layout name="field" type="real" dimensions="128,128"/>
+  <variable name="theta" layout="field"/>
+</simulation>`, workers, queue)
+	cfg, err := config.ParseString(cfgXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pers := &slowPersister{}
+	var mu sync.Mutex
+	var phases []float64
+	err = mpi.Run(ranks, coresPerNode, func(comm *mpi.Comm) {
+		dep, err := core.Deploy(comm, cfg, nil, core.Options{Persister: pers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !dep.IsClient() {
+			if err := dep.Server.Run(); err != nil {
+				log.Fatal(err)
+			}
+			mu.Lock()
+			ps = dep.Server.PipelineStats()
+			mu.Unlock()
+			return
+		}
+		cli := dep.Client
+		data := make([]float32, 128*128)
+		for i := range data {
+			data[i] = float32(cli.Source())
+		}
+		for it := int64(0); it < iterations; it++ {
+			start := time.Now()
+			if err := cli.WriteFloat32s("theta", it, data); err != nil {
+				log.Fatal(err)
+			}
+			if err := cli.EndIteration(it); err != nil {
+				log.Fatal(err)
+			}
+			mu.Lock()
+			phases = append(phases, time.Since(start).Seconds())
+			mu.Unlock()
+		}
+		_ = cli.Finalize()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return stats.Summarize(phases), ps, pers.calls
+}
+
+func main() {
+	fmt.Printf("— write-behind persistence pipeline: %d clients x %d iterations, %v per durable call —\n",
+		ranks-1, iterations, persistDelay)
+	configs := []struct {
+		label          string
+		workers, queue int
+	}{
+		{"synchronous baseline", 0, 1},
+		{"1 writer, queue 4", 1, 4},
+		{"4 writers, queue 16", 4, 16},
+	}
+	var base float64
+	for _, c := range configs {
+		phase, ps, calls := run(c.workers, c.queue)
+		total := float64(phase.N) / float64(ranks-1) * phase.Mean
+		if base == 0 {
+			base = total
+		}
+		fmt.Printf("\n  %s:\n", c.label)
+		fmt.Printf("    client iteration: mean=%.2fms max=%.2fms (total %.0fms, %.1fx vs sync)\n",
+			phase.Mean*1e3, phase.Max*1e3, total*1e3, base/total)
+		fmt.Printf("    persister: %d durable calls for %d iterations\n", calls, iterations)
+		if c.workers > 0 {
+			fmt.Printf("    pipeline: queue depth mean=%.1f max=%d; flush latency mean=%.1fms; "+
+				"writer utilization %.0f%%; batch mean=%.1f\n",
+				ps.Depth.Mean, ps.MaxInFlight, ps.FlushLatency.Mean*1e3,
+				100*ps.Utilization, ps.BatchSize.Mean)
+		}
+	}
+	fmt.Println("\nThe event loop hands completed iterations to writer goroutines through a")
+	fmt.Println("bounded queue; clients re-couple to I/O latency only when the queue fills.")
+}

@@ -1,0 +1,3 @@
+module damaris
+
+go 1.24

@@ -14,6 +14,26 @@
 // plus the runtime knobs the paper describes in prose: shared-buffer size
 // ("a size chosen by the user"), the allocator choice (mutex vs lock-free),
 // and the number of dedicated cores per node.
+//
+// # Persistence pipeline
+//
+// The dedicated core's flush path is an asynchronous write-behind pipeline
+// (paper §III: I/O overlaps the clients' next compute phase). Two knobs
+// shape it, declared on an optional <pipeline> element:
+//
+//		<pipeline workers="4" queue="8"/>
+//
+//	  - workers (PersistWorkers) is the number of writer goroutines draining
+//	    completed iterations. 0 selects the synchronous baseline: the event
+//	    loop itself persists each iteration before draining further events
+//	    (useful for comparison runs, never for production).
+//	  - queue (PersistQueueDepth) bounds the in-flight iteration queue
+//	    between the event loop and the writers. When the queue is full the
+//	    event loop blocks on submission, exerting backpressure instead of
+//	    growing memory without bound. The same depth is the client-side flow
+//	    window: clients may run at most `queue` iterations ahead of the last
+//	    durably flushed one, so the shared buffer must hold queue+1 write
+//	    phases for guaranteed liveness under the mutex allocator.
 package config
 
 import (
@@ -21,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"damaris/internal/layout"
@@ -36,6 +57,14 @@ type Config struct {
 	// DedicatedCores is the number of cores per node reserved for Damaris
 	// (the paper uses 1; §V-A discusses several).
 	DedicatedCores int
+	// PersistWorkers is the number of write-behind persister goroutines
+	// per dedicated core; 0 selects the synchronous baseline where the
+	// event loop flushes inline.
+	PersistWorkers int
+	// PersistQueueDepth bounds the in-flight iteration queue feeding the
+	// persist workers; it is also the client flow-control window when the
+	// pipeline is asynchronous.
+	PersistQueueDepth int
 	// Layouts maps layout names to normalized (C-order) layouts.
 	Layouts map[string]layout.Layout
 	// Variables maps variable names to their declarations.
@@ -63,17 +92,26 @@ type Event struct {
 
 // xmlFile mirrors the on-disk schema.
 type xmlFile struct {
-	XMLName xml.Name      `xml:"simulation"`
-	Buffer  xmlBuffer     `xml:"buffer"`
-	Layouts []xmlLayout   `xml:"layout"`
-	Vars    []xmlVariable `xml:"variable"`
-	Events  []xmlEvent    `xml:"event"`
+	XMLName  xml.Name      `xml:"simulation"`
+	Buffer   xmlBuffer     `xml:"buffer"`
+	Pipeline *xmlPipeline  `xml:"pipeline"`
+	Layouts  []xmlLayout   `xml:"layout"`
+	Vars     []xmlVariable `xml:"variable"`
+	Events   []xmlEvent    `xml:"event"`
 }
 
 type xmlBuffer struct {
 	Size           int64  `xml:"size,attr"`
 	Allocator      string `xml:"allocator,attr"`
 	DedicatedCores int    `xml:"cores,attr"`
+}
+
+// xmlPipeline's attributes are strings so an absent attribute (which
+// selects the default) is distinguishable from an explicit "0" — which is
+// the synchronous baseline for workers, and an error for queue.
+type xmlPipeline struct {
+	Workers string `xml:"workers,attr"`
+	Queue   string `xml:"queue,attr"`
 }
 
 type xmlLayout struct {
@@ -99,9 +137,11 @@ type xmlEvent struct {
 
 // Defaults applied when the XML omits optional knobs.
 const (
-	DefaultBufferSize     = 64 << 20 // 64 MiB per node
-	DefaultAllocator      = "mutex"
-	DefaultDedicatedCores = 1
+	DefaultBufferSize        = 64 << 20 // 64 MiB per node
+	DefaultAllocator         = "mutex"
+	DefaultDedicatedCores    = 1
+	DefaultPersistWorkers    = 1
+	DefaultPersistQueueDepth = 1
 )
 
 // Parse reads configuration XML from r.
@@ -154,6 +194,33 @@ func build(f *xmlFile) (*Config, error) {
 	}
 	if c.DedicatedCores < 0 {
 		return nil, fmt.Errorf("config: negative dedicated core count %d", c.DedicatedCores)
+	}
+
+	// Pipeline knobs: absent element means defaults; a present element may
+	// explicitly set workers="0" to request the synchronous baseline.
+	c.PersistWorkers = DefaultPersistWorkers
+	c.PersistQueueDepth = DefaultPersistQueueDepth
+	if f.Pipeline != nil {
+		if f.Pipeline.Workers != "" {
+			w, err := strconv.Atoi(f.Pipeline.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("config: persist worker count %q: %w", f.Pipeline.Workers, err)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("config: negative persist worker count %d", w)
+			}
+			c.PersistWorkers = w
+		}
+		if f.Pipeline.Queue != "" {
+			q, err := strconv.Atoi(f.Pipeline.Queue)
+			if err != nil {
+				return nil, fmt.Errorf("config: persist queue depth %q: %w", f.Pipeline.Queue, err)
+			}
+			if q < 1 {
+				return nil, fmt.Errorf("config: persist queue depth must be at least 1, got %d", q)
+			}
+			c.PersistQueueDepth = q
+		}
 	}
 
 	for _, xl := range f.Layouts {

@@ -173,3 +173,79 @@ func TestParseReaderEquivalence(t *testing.T) {
 		t.Error("Parse and ParseString disagree")
 	}
 }
+
+func TestPipelineDefaults(t *testing.T) {
+	c, err := ParseString(`<simulation/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PersistWorkers != DefaultPersistWorkers {
+		t.Errorf("PersistWorkers = %d, want default %d", c.PersistWorkers, DefaultPersistWorkers)
+	}
+	if c.PersistQueueDepth != DefaultPersistQueueDepth {
+		t.Errorf("PersistQueueDepth = %d, want default %d", c.PersistQueueDepth, DefaultPersistQueueDepth)
+	}
+}
+
+func TestPipelineKnobs(t *testing.T) {
+	c, err := ParseString(`<simulation><pipeline workers="4" queue="8"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PersistWorkers != 4 || c.PersistQueueDepth != 8 {
+		t.Errorf("pipeline = %d workers / %d queue, want 4/8", c.PersistWorkers, c.PersistQueueDepth)
+	}
+}
+
+func TestPipelineSynchronousBaseline(t *testing.T) {
+	// workers="0" is meaningful (the synchronous baseline), unlike an
+	// absent element which selects the defaults.
+	c, err := ParseString(`<simulation><pipeline workers="0"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PersistWorkers != 0 {
+		t.Errorf("PersistWorkers = %d, want explicit 0", c.PersistWorkers)
+	}
+	if c.PersistQueueDepth != DefaultPersistQueueDepth {
+		t.Errorf("PersistQueueDepth = %d, want default %d", c.PersistQueueDepth, DefaultPersistQueueDepth)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := ParseString(`<simulation><pipeline workers="-1"/></simulation>`); err == nil {
+		t.Error("negative workers should fail")
+	}
+	if _, err := ParseString(`<simulation><pipeline queue="-2"/></simulation>`); err == nil {
+		t.Error("negative queue depth should fail")
+	}
+}
+
+func TestPipelineQueueZeroRejected(t *testing.T) {
+	// An explicit queue="0" is an error (there is no zero-depth queue),
+	// unlike workers="0" which selects the synchronous baseline and unlike
+	// an absent attribute which selects the default.
+	if _, err := ParseString(`<simulation><pipeline workers="4" queue="0"/></simulation>`); err == nil {
+		t.Error("explicit queue=0 should fail")
+	}
+	if _, err := ParseString(`<simulation><pipeline queue="junk"/></simulation>`); err == nil {
+		t.Error("non-numeric queue should fail")
+	}
+}
+
+func TestPipelineWorkersAttrAbsentKeepsDefault(t *testing.T) {
+	// <pipeline queue="8"/> must deepen the queue while keeping the
+	// default (asynchronous) worker count — an absent workers attribute is
+	// not the same as workers="0".
+	c, err := ParseString(`<simulation><pipeline queue="8"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PersistWorkers != DefaultPersistWorkers || c.PersistQueueDepth != 8 {
+		t.Errorf("pipeline = %d workers / %d queue, want %d/8",
+			c.PersistWorkers, c.PersistQueueDepth, DefaultPersistWorkers)
+	}
+	if _, err := ParseString(`<simulation><pipeline workers="many"/></simulation>`); err == nil {
+		t.Error("non-numeric workers should fail")
+	}
+}

@@ -217,13 +217,15 @@ func (c *Client) EndIteration(iteration int64) error {
 	})
 	c.phaseDurs = append(c.phaseDurs, c.phaseAcc)
 	c.phaseAcc = 0
-	// Flow control: run at most one iteration ahead of the flushes, so a
-	// fast client can never fill the shared buffer with its own backlog
-	// and starve a sibling's current iteration (see the flow doc in
-	// core.go). This wait overlaps the next compute phase in real use —
-	// by the time the simulation computes, the previous flush is done.
+	// Flow control: run at most `window` iterations ahead of the last
+	// durable flush (window = 1 synchronous, persist_queue_depth under the
+	// write-behind pipeline), so a fast client can never fill the shared
+	// buffer with its own backlog and starve a sibling's current iteration
+	// (see the flow doc in core.go). This wait overlaps the next compute
+	// phase in real use — by the time the simulation computes, the
+	// pipeline has drained within the window again.
 	if c.fc != nil {
-		c.fc.waitFlushed(iteration - 1)
+		c.fc.wait(iteration)
 	}
 	return nil
 }

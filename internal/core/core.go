@@ -42,26 +42,38 @@ type initMsg struct {
 }
 
 // flow is the iteration-window flow control between a dedicated core and
-// its clients. Clients may run at most one iteration ahead of the last
-// flushed one; without this bound, a fast client can fill the shared buffer
-// with many unflushed iterations of its own while a slow sibling never gets
-// the space to finish the oldest — and the oldest can then never flush.
-// (The lock-free partitioned allocator cannot starve siblings, but the
-// window still bounds memory and is kept uniform.)
+// its clients. Clients may run at most `window` iterations ahead of the
+// last durably flushed one; without this bound, a fast client can fill the
+// shared buffer with many unflushed iterations of its own while a slow
+// sibling never gets the space to finish the oldest — and the oldest can
+// then never flush. (The lock-free partitioned allocator cannot starve
+// siblings, but the window still bounds memory and is kept uniform.)
+//
+// The window is 1 for the synchronous baseline (the seed behaviour) and
+// equals the persistence pipeline's queue depth when flushing is
+// asynchronous: the pipeline can usefully absorb exactly that many
+// iterations, so letting clients run further ahead would only grow memory,
+// while a smaller window would idle the writers.
 type flow struct {
+	window  int64
 	mu      sync.Mutex
 	cond    *sync.Cond
-	flushed int64 // highest iteration flushed; -1 before any
+	flushed int64 // highest durably flushed iteration; -1 before any
 	closed  bool
 }
 
-func newFlow() *flow {
-	f := &flow{flushed: -1}
+func newFlow(window int64) *flow {
+	if window < 1 {
+		window = 1
+	}
+	f := &flow{window: window, flushed: -1}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
 
-// setFlushed records a completed flush and wakes waiting clients.
+// setFlushed records a durably completed flush and wakes waiting clients.
+// The persistence pipeline calls it in ack order, so `flushed` only ever
+// advances over iterations whose predecessors are durable too.
 func (f *flow) setFlushed(it int64) {
 	f.mu.Lock()
 	if it > f.flushed {
@@ -71,11 +83,12 @@ func (f *flow) setFlushed(it int64) {
 	f.cond.Broadcast()
 }
 
-// waitFlushed blocks until iteration `it` has been flushed (or the server
-// shut down).
-func (f *flow) waitFlushed(it int64) {
+// wait blocks a client that just ended iteration `it` until that leaves it
+// at most `window` iterations ahead of the last durable flush (or the
+// server shut down).
+func (f *flow) wait(it int64) {
 	f.mu.Lock()
-	for f.flushed < it && !f.closed {
+	for f.flushed < it-f.window && !f.closed {
 		f.cond.Wait()
 	}
 	f.mu.Unlock()
@@ -127,13 +140,15 @@ type Options struct {
 // collectively.
 //
 // Buffer sizing: with the shared ("mutex") allocator the per-node buffer
-// should hold at least two write phases' worth of data. Built-in flow
-// control bounds every client to one iteration beyond the last flush, so
-// at most two iterations are ever in flight; two phases of space therefore
-// guarantee progress, while a single phase can still deadlock (a fast
-// client's iteration-N+1 data occupying space a sibling needs to finish
+// should hold at least window+1 write phases' worth of data, where the
+// flow-control window is 1 for the synchronous baseline and
+// persist_queue_depth for the write-behind pipeline. Built-in flow control
+// bounds every client to `window` iterations beyond the last durable
+// flush, so at most window+1 iterations are ever in flight; that much
+// space therefore guarantees progress, while less can deadlock (a fast
+// client's iteration-N+k data occupying space a sibling needs to finish
 // N). The lock-free partitioned allocator cannot cross-starve and needs
-// only one phase per client partition.
+// only window+1 phases per client partition.
 func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Options) (*Deployment, error) {
 	if world == nil {
 		return nil, fmt.Errorf("core: nil world communicator")
@@ -182,7 +197,11 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 			return nil, fmt.Errorf("core: server %d: %w", g, err)
 		}
 		queue := event.NewQueue()
-		fc := newFlow()
+		window := int64(1)
+		if cfg.PersistWorkers > 0 {
+			window = int64(cfg.PersistQueueDepth)
+		}
+		fc := newFlow(window)
 		for localIdx, clientNodeRank := range group {
 			node.Send(clientNodeRank, tagInit, initMsg{seg: seg, queue: queue, fc: fc, localIdx: localIdx})
 		}

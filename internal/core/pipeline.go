@@ -1,0 +1,307 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"damaris/internal/metadata"
+	"damaris/internal/stats"
+)
+
+// pipeline is the dedicated core's asynchronous write-behind persistence
+// path: a bounded queue of completed iterations feeding N writer
+// goroutines. The event loop hands a finished iteration's entries over
+// through submit and immediately resumes draining client events; writers
+// make the data durable, release the shared-memory chunks, and advance the
+// client flow-control window — so clients re-couple to I/O latency only
+// when the queue is full (backpressure) or they outrun the flow window.
+//
+// Durability ordering: writers may complete iterations out of submission
+// order, but the flow window and the per-iteration completion callback
+// advance like a TCP ack — strictly in submission order, once every earlier
+// submitted iteration is durable too. Shared-memory chunks, by contrast,
+// are released as soon as their own iteration's write returns, since the
+// space is reusable regardless of sibling iterations.
+type pipeline struct {
+	persister Persister
+	scheduler Scheduler
+	workers   int
+	maxBatch  int
+	jobs      chan persistJob
+	wg        sync.WaitGroup
+	start     time.Time
+
+	// onDurable is invoked in submission (ack) order for every iteration,
+	// after the iteration and all earlier ones are durable. persistDur is
+	// the iteration's share of its persist call (call duration / batch
+	// size); err is the iteration's persist error, if any.
+	onDurable func(it int64, persistDur, latency float64, bytes int64, err error)
+
+	// ackMu serializes the ack-drain + onDurable section across writers,
+	// so callbacks really are delivered in watermark order (p.mu alone
+	// only orders the state updates, not the calls after unlock).
+	ackMu sync.Mutex
+
+	mu        sync.Mutex
+	closed    bool
+	nextSeq   int64
+	ackSeq    int64                 // all seqs < ackSeq have been acked
+	done      map[int64]persistDone // completed seqs awaiting contiguous ack
+	inFlight  int                   // submitted, not yet durable
+	maxDepth  int
+	depthAcc  stats.Accumulator // queue depth sampled at submit/complete
+	latAcc    stats.Accumulator // submit→durable seconds, per iteration
+	batchAcc  stats.Accumulator // iterations per persist call
+	busy      []float64         // per-writer seconds spent persisting
+	enqueued  int64
+	completed int64
+	failures  int64
+}
+
+// persistJob is one completed iteration travelling from the event loop to a
+// writer.
+type persistJob struct {
+	seq       int64
+	it        int64
+	entries   []*metadata.Entry
+	bytes     int64
+	submitted time.Time
+}
+
+// persistDone is a finished job waiting for every earlier seq to finish so
+// the ack watermark can pass it.
+type persistDone struct {
+	it         int64
+	persistDur float64
+	latency    float64
+	bytes      int64
+	err        error
+}
+
+// newPipeline starts `workers` writer goroutines over a queue of depth
+// `depth`. Batching is capped at the queue depth: a writer wakes, takes one
+// job, then greedily drains whatever else is already queued so one durable
+// persister call can cover several iterations (amortizing per-call costs —
+// file creation, fsync — exactly where a slow persister hurts most). When a
+// Scheduler is present batching is disabled, since each iteration must wait
+// for its own transfer slot (paper §IV-D).
+func newPipeline(persister Persister, scheduler Scheduler, workers, depth int,
+	onDurable func(it int64, persistDur, latency float64, bytes int64, err error)) *pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	maxBatch := depth
+	if scheduler != nil {
+		maxBatch = 1
+	}
+	p := &pipeline{
+		persister: persister,
+		scheduler: scheduler,
+		workers:   workers,
+		maxBatch:  maxBatch,
+		jobs:      make(chan persistJob, depth),
+		start:     time.Now(),
+		onDurable: onDurable,
+		done:      make(map[int64]persistDone),
+		busy:      make([]float64, workers),
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.writer(w)
+	}
+	return p
+}
+
+// submit hands one completed iteration to the writers. It blocks while the
+// queue is full — the backpressure point for the event loop — and must not
+// be called after close.
+func (p *pipeline) submit(it int64, entries []*metadata.Entry) {
+	var bytes int64
+	for _, e := range entries {
+		bytes += e.Size()
+	}
+	p.mu.Lock()
+	seq := p.nextSeq
+	p.nextSeq++
+	p.enqueued++
+	p.inFlight++
+	if p.inFlight > p.maxDepth {
+		p.maxDepth = p.inFlight
+	}
+	p.depthAcc.Add(float64(p.inFlight))
+	p.mu.Unlock()
+	p.jobs <- persistJob{seq: seq, it: it, entries: entries, bytes: bytes, submitted: time.Now()}
+}
+
+// close stops accepting work, waits for the writers to drain every queued
+// iteration, and returns. Idempotent is the caller's job (Server.Close uses
+// a sync.Once).
+func (p *pipeline) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// writer is one persist goroutine: pop a job, drain a batch, make it
+// durable, release the chunks, ack.
+func (p *pipeline) writer(id int) {
+	defer p.wg.Done()
+	batch := make([]persistJob, 0, p.maxBatch)
+	for job := range p.jobs {
+		batch = append(batch[:0], job)
+		for len(batch) < p.maxBatch {
+			extra, ok := tryRecv(p.jobs)
+			if !ok {
+				break
+			}
+			batch = append(batch, extra)
+		}
+		p.persistAndAck(id, batch)
+	}
+}
+
+// tryRecv is a non-blocking receive.
+func tryRecv(ch chan persistJob) (persistJob, bool) {
+	select {
+	case j, ok := <-ch:
+		return j, ok
+	default:
+		return persistJob{}, false
+	}
+}
+
+// persistAndAck writes one batch durably, releases its shared-memory
+// chunks, and records completion for in-order acking.
+func (p *pipeline) persistAndAck(id int, batch []persistJob) {
+	start := time.Now()
+	errs := make([]error, len(batch))
+	if bp, ok := p.persister.(BatchPersister); ok && len(batch) > 1 {
+		ib := make([]IterationBatch, len(batch))
+		for i, j := range batch {
+			ib[i] = IterationBatch{Iteration: j.it, Entries: j.entries}
+		}
+		// One durable call covers the whole batch; an error taints every
+		// iteration in it.
+		if err := bp.PersistBatch(ib); err != nil {
+			for i := range errs {
+				errs[i] = err
+			}
+		}
+	} else {
+		for i, j := range batch {
+			if p.scheduler != nil {
+				p.scheduler.WaitTurn(j.it)
+			}
+			errs[i] = p.persister.Persist(j.it, j.entries)
+		}
+	}
+	dur := time.Since(start).Seconds()
+	// The iterations of this batch are durable (or definitively failed):
+	// only now may their shared-memory chunks be released. On error the
+	// data is gone either way, so liveness wins — release regardless.
+	for _, j := range batch {
+		for _, e := range j.entries {
+			e.Release()
+		}
+	}
+
+	now := time.Now()
+	// Each iteration is charged its share of the batch's persist call, so
+	// Σ WriteTimes stays the real time spent persisting rather than being
+	// inflated by the batch factor.
+	perIt := dur / float64(len(batch))
+	p.ackMu.Lock()
+	p.mu.Lock()
+	p.busy[id] += dur
+	p.batchAcc.Add(float64(len(batch)))
+	for i, j := range batch {
+		p.completed++
+		p.inFlight--
+		p.depthAcc.Add(float64(p.inFlight))
+		lat := now.Sub(j.submitted).Seconds()
+		p.latAcc.Add(lat)
+		if errs[i] != nil {
+			p.failures++
+		}
+		p.done[j.seq] = persistDone{it: j.it, persistDur: perIt, latency: lat, bytes: j.bytes, err: errs[i]}
+	}
+	// Advance the ack watermark over every contiguous completed seq.
+	var acks []persistDone
+	for {
+		d, ok := p.done[p.ackSeq]
+		if !ok {
+			break
+		}
+		delete(p.done, p.ackSeq)
+		p.ackSeq++
+		acks = append(acks, d)
+	}
+	p.mu.Unlock()
+	// Deliver under ackMu (not p.mu, which writers need to complete other
+	// batches): a second writer advancing the watermark further must wait
+	// here until these earlier acks are delivered.
+	for _, d := range acks {
+		if p.onDurable != nil {
+			p.onDurable(d.it, d.persistDur, d.latency, d.bytes, d.err)
+		}
+	}
+	p.ackMu.Unlock()
+}
+
+// PipelineStats is a snapshot of the write-behind pipeline's per-stage
+// metrics, exported through Server.PipelineStats and reported by
+// cmd/damaris-run.
+type PipelineStats struct {
+	// Workers is the writer goroutine count (0 = synchronous baseline).
+	Workers int
+	// QueueDepth is the configured bound on in-flight iterations.
+	QueueDepth int
+	// Enqueued and Completed count iterations through the pipeline.
+	Enqueued, Completed int64
+	// Failures counts iterations whose persist returned an error.
+	Failures int64
+	// MaxInFlight is the high-water mark of queued+writing iterations.
+	MaxInFlight int
+	// Depth summarizes the in-flight count sampled at every submit and
+	// completion (the "queue depth" gauge).
+	Depth stats.Summary
+	// FlushLatency summarizes seconds from iteration submission to
+	// durability.
+	FlushLatency stats.Summary
+	// BatchSize summarizes iterations per persister call.
+	BatchSize stats.Summary
+	// WriterBusy is seconds each writer spent inside the persister.
+	WriterBusy []float64
+	// Utilization is Σbusy/(workers×wall) over the pipeline's lifetime.
+	Utilization float64
+}
+
+// snapshot captures the pipeline metrics at a point in time.
+func (p *pipeline) snapshot(queueDepth int) PipelineStats {
+	wall := time.Since(p.start).Seconds()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PipelineStats{
+		Workers:      p.workers,
+		QueueDepth:   queueDepth,
+		Enqueued:     p.enqueued,
+		Completed:    p.completed,
+		Failures:     p.failures,
+		MaxInFlight:  p.maxDepth,
+		Depth:        p.depthAcc.Summary(),
+		FlushLatency: p.latAcc.Summary(),
+		BatchSize:    p.batchAcc.Summary(),
+		WriterBusy:   append([]float64(nil), p.busy...),
+		Utilization:  stats.Utilization(p.busy, wall),
+	}
+}

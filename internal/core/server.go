@@ -23,9 +23,12 @@ type Scheduler interface {
 }
 
 // Server is the dedicated-core side of Damaris: it pulls events from the
-// shared queue, maintains the metadata catalog through the EPE, and flushes
-// each completed iteration through the persistency layer, overlapping I/O
-// with the clients' next compute phase.
+// shared queue, maintains the metadata catalog through the EPE, and hands
+// each completed iteration to the write-behind persistence pipeline, so
+// that I/O overlaps the clients' next compute phase and a slow persister
+// never stalls event draining. With PersistWorkers=0 the server instead
+// flushes synchronously inside the event loop — the coupled baseline the
+// paper's dedicated-core design eliminates, kept for comparison runs.
 type Server struct {
 	cfg       *config.Config
 	eng       *event.Engine
@@ -37,14 +40,20 @@ type Server struct {
 	group     int // dedicated-core index within the node
 	persister Persister
 	scheduler Scheduler
+	pipe      *pipeline // nil in the synchronous baseline
+
+	closeOnce sync.Once
 
 	mu           sync.Mutex
 	writeDurs    []float64 // seconds spent persisting, per iteration
+	flushLats    []float64 // seconds from iteration completion to durability
 	spareDur     float64   // seconds spent idle waiting for events
-	busyDur      float64   // seconds spent handling events + persisting
+	busyDur      float64   // seconds handling events (incl. persisting only in the sync baseline)
 	bytesWritten int64
 	iterations   []int64
 	handleErrs   []error
+	flushErr     error // first persistence error, surfaced by Run/Close
+	syncFails    int64 // failed iterations in the synchronous baseline
 	running      bool
 }
 
@@ -71,6 +80,10 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 	}
 	if s.persister == nil {
 		s.persister = &DSFPersister{Dir: opts.OutputDir, Node: node, ServerID: worldRank}
+	}
+	if cfg.PersistWorkers > 0 {
+		s.pipe = newPipeline(s.persister, s.scheduler,
+			cfg.PersistWorkers, cfg.PersistQueueDepth, s.iterationDurable)
 	}
 	eng.OnIterationEnd = s.flushIteration
 	eng.OnAllExited = func() error {
@@ -108,7 +121,6 @@ func (s *Server) Run() error {
 	s.running = true
 	s.mu.Unlock()
 
-	var firstFlushErr error
 	for {
 		idleStart := time.Now()
 		ev, ok := s.queue.Pop()
@@ -122,10 +134,10 @@ func (s *Server) Run() error {
 		if err := s.eng.Handle(ev); err != nil {
 			s.mu.Lock()
 			s.handleErrs = append(s.handleErrs, err)
-			s.mu.Unlock()
-			if firstFlushErr == nil && isFlushError(err) {
-				firstFlushErr = err
+			if s.flushErr == nil && isFlushError(err) {
+				s.flushErr = err
 			}
+			s.mu.Unlock()
 		}
 		s.mu.Lock()
 		s.busyDur += time.Since(busyStart).Seconds()
@@ -136,16 +148,38 @@ func (s *Server) Run() error {
 	if leftover := s.eng.Store().Iterations(); len(leftover) > 0 {
 		sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
 		for _, it := range leftover {
-			if err := s.flushIteration(it); err != nil && firstFlushErr == nil {
-				firstFlushErr = err
+			if err := s.flushIteration(it); err != nil {
+				s.mu.Lock()
+				s.handleErrs = append(s.handleErrs, err)
+				if s.flushErr == nil {
+					s.flushErr = err
+				}
+				s.mu.Unlock()
 			}
 		}
 	}
-	s.seg.Close()
-	if s.fc != nil {
-		s.fc.close()
-	}
-	return firstFlushErr
+	return s.Close()
+}
+
+// Close drains the persistence pipeline (every submitted iteration becomes
+// durable or definitively fails), closes the shared segment, releases flow
+// waiters, and returns the first persistence error observed over the
+// server's lifetime. Run calls it on the way out; calling it again is a
+// cheap no-op returning the same error. Close must not be called while
+// clients are still producing events.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.pipe != nil {
+			s.pipe.close()
+		}
+		s.seg.Close()
+		if s.fc != nil {
+			s.fc.close()
+		}
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushErr
 }
 
 type flushError struct{ err error }
@@ -158,39 +192,71 @@ func isFlushError(err error) bool {
 	return ok
 }
 
-// flushIteration persists and drops one completed iteration. It is the
-// engine's OnIterationEnd hook, so it runs on the dedicated core — the
-// simulation never waits for it.
+// flushIteration hands one completed iteration to the persistence path. It
+// is the engine's OnIterationEnd hook, so it runs on the dedicated core —
+// the simulation never waits for it. With the write-behind pipeline the
+// hand-off is a bounded-queue send (blocking only when the pipeline is
+// `persist_queue_depth` iterations behind — the backpressure point); the
+// event loop then resumes draining client events while writers persist.
+// Entries leave the metadata catalog here but their shared-memory chunks
+// stay pinned until a writer reports the iteration durable.
 func (s *Server) flushIteration(it int64) error {
+	entries := s.eng.Store().TakeIteration(it)
+	if s.pipe != nil {
+		s.pipe.submit(it, entries)
+		return nil
+	}
+
+	// Synchronous baseline: persist inline, inside the event loop.
 	if s.scheduler != nil {
 		s.scheduler.WaitTurn(it)
 	}
 	start := time.Now()
-	entries := s.eng.Store().Iteration(it)
 	var bytes int64
 	for _, e := range entries {
 		bytes += e.Size()
 	}
 	err := s.persister.Persist(it, entries)
-	s.eng.Store().DropIteration(it)
+	for _, e := range entries {
+		e.Release()
+	}
+	dur := time.Since(start).Seconds()
+	s.iterationDurable(it, dur, dur, bytes, err)
+	if err != nil {
+		return flushError{fmt.Errorf("core: server %d: persist iteration %d: %w", s.id, it, err)}
+	}
+	return nil
+}
+
+// iterationDurable records one iteration's durability and advances the
+// client flow-control window. The pipeline invokes it in submission (ack)
+// order once the iteration and all earlier ones are durable; the
+// synchronous baseline calls it inline.
+func (s *Server) iterationDurable(it int64, persistDur, latency float64, bytes int64, err error) {
+	s.mu.Lock()
+	s.writeDurs = append(s.writeDurs, persistDur)
+	s.flushLats = append(s.flushLats, latency)
+	s.iterations = append(s.iterations, it)
+	if err == nil {
+		s.bytesWritten += bytes
+	} else if s.pipe == nil {
+		s.syncFails++
+	} else {
+		// Pipeline errors never travel through Engine.Handle, so record
+		// them here for HandleErrors/Run; the sync path reports through
+		// flushIteration's return instead.
+		werr := flushError{fmt.Errorf("core: server %d: persist iteration %d: %w", s.id, it, err)}
+		s.handleErrs = append(s.handleErrs, werr)
+		if s.flushErr == nil {
+			s.flushErr = werr
+		}
+	}
+	s.mu.Unlock()
 	if s.fc != nil {
 		// Unblock clients waiting at the flow-control window; on persist
 		// error the data is gone either way, so liveness wins.
 		s.fc.setFlushed(it)
 	}
-	dur := time.Since(start).Seconds()
-
-	s.mu.Lock()
-	s.writeDurs = append(s.writeDurs, dur)
-	s.iterations = append(s.iterations, it)
-	if err == nil {
-		s.bytesWritten += bytes
-	}
-	s.mu.Unlock()
-	if err != nil {
-		return flushError{fmt.Errorf("core: server %d: persist iteration %d: %w", s.id, it, err)}
-	}
-	return nil
 }
 
 // WriteTimes returns the seconds each iteration flush took on the dedicated
@@ -243,6 +309,33 @@ func (s *Server) WriteStats() stats.Summary {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return stats.Summarize(s.writeDurs)
+}
+
+// FlushLatencies returns, per iteration in ack order, the seconds from
+// iteration completion (all clients ended it) to durability. In the
+// synchronous baseline this equals the write time; under the write-behind
+// pipeline it additionally includes queueing delay.
+func (s *Server) FlushLatencies() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.flushLats...)
+}
+
+// PipelineStats snapshots the write-behind pipeline's per-stage metrics
+// (queue depth, flush latency, batch size, writer utilization). In the
+// synchronous baseline it reports Workers=0 with only FlushLatency filled.
+func (s *Server) PipelineStats() PipelineStats {
+	if s.pipe == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return PipelineStats{
+			Enqueued:     int64(len(s.flushLats)),
+			Completed:    int64(len(s.flushLats)),
+			Failures:     s.syncFails,
+			FlushLatency: stats.Summarize(s.flushLats),
+		}
+	}
+	return s.pipe.snapshot(s.cfg.PersistQueueDepth)
 }
 
 // Persister is the persistency layer invoked once per completed iteration

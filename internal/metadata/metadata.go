@@ -57,6 +57,12 @@ func (e *Entry) release() {
 	}
 }
 
+// Release frees the entry's shared-memory block, if any. It is called by
+// owners of entries obtained from TakeIteration — the persistence pipeline —
+// once the entry has been durably written (or its write definitively
+// failed). Releasing twice is a no-op.
+func (e *Entry) Release() { e.release() }
+
 // Store is a thread-safe tuple catalog. The zero value is not usable; use
 // NewStore.
 type Store struct {
@@ -168,6 +174,27 @@ func (s *Store) TotalBytes(it int64) int64 {
 		}
 	}
 	return total
+}
+
+// TakeIteration removes and returns all entries of an iteration WITHOUT
+// releasing their shared-memory blocks: ownership transfers to the caller,
+// which must call Release on every entry once it is durably persisted.
+// This is the hand-off point between the dedicated core's event loop and
+// the write-behind pipeline — the data must stay pinned in shared memory
+// until a writer has made it durable. Entries are sorted by (name, source)
+// like Iteration.
+func (s *Store) TakeIteration(it int64) []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Entry
+	for k, e := range s.entries {
+		if k.Iteration == it {
+			out = append(out, e)
+			delete(s.entries, k)
+		}
+	}
+	sortEntries(out)
+	return out
 }
 
 // DropIteration removes all entries of an iteration, releasing their

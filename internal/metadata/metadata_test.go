@@ -217,3 +217,58 @@ func TestQuickIterationPartition(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTakeIterationTransfersOwnership(t *testing.T) {
+	s := NewStore()
+	seg, err := shm.NewSegment(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []*shm.Block
+	for src := 0; src < 3; src++ {
+		blk, err := seg.Reserve(0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk)
+		if err := s.Put(&Entry{Key: Key{Name: "v", Iteration: 5, Source: src}, Block: blk}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = s.Put(&Entry{Key: Key{Name: "v", Iteration: 6, Source: 0}, Inline: []byte{1}})
+
+	taken := s.TakeIteration(5)
+	if len(taken) != 3 {
+		t.Fatalf("taken = %d entries, want 3", len(taken))
+	}
+	// Sorted by (name, source), like Iteration.
+	for i, e := range taken {
+		if e.Key.Source != i {
+			t.Errorf("taken[%d].Source = %d, want %d", i, e.Key.Source, i)
+		}
+	}
+	// Gone from the catalog, other iterations untouched.
+	if len(s.Iteration(5)) != 0 || s.Len() != 1 {
+		t.Errorf("store after take: it5=%d len=%d", len(s.Iteration(5)), s.Len())
+	}
+	// Crucially: the shared-memory blocks are NOT released — ownership
+	// moved to the caller (the persistence pipeline).
+	for i, blk := range blocks {
+		if blk.Released() {
+			t.Errorf("block %d released by TakeIteration", i)
+		}
+	}
+	for _, e := range taken {
+		e.Release()
+	}
+	for i, blk := range blocks {
+		if !blk.Released() {
+			t.Errorf("block %d not released by Entry.Release", i)
+		}
+	}
+	// Releasing again is a no-op.
+	taken[0].Release()
+	if got := s.TakeIteration(99); got != nil {
+		t.Errorf("TakeIteration of empty iteration = %v", got)
+	}
+}

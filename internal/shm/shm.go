@@ -62,6 +62,11 @@ func (b *Block) Release() {
 	}
 }
 
+// Released reports whether the block has been returned to its allocator.
+// The persistence pipeline's durability invariant — no chunk is released
+// before its iteration is durably written — is asserted through this.
+func (b *Block) Released() bool { return b.freed.Load() }
+
 // Allocator is the reservation strategy used by a Segment.
 type Allocator interface {
 	// reserve claims size bytes for the given client and returns the offset.

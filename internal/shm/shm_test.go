@@ -349,3 +349,26 @@ func TestQuickPartitionedBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBlockReleasedReporting(t *testing.T) {
+	seg, err := NewSegment(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := seg.Reserve(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Released() {
+		t.Error("fresh block reports released")
+	}
+	blk.Release()
+	if !blk.Released() {
+		t.Error("released block reports live")
+	}
+	// Double release stays a no-op and keeps the counter consistent.
+	blk.Release()
+	if got := seg.Releases(); got != 1 {
+		t.Errorf("Releases = %d, want 1", got)
+	}
+}

@@ -196,6 +196,30 @@ func (a *Accumulator) Summary() Summary {
 	return Summary{N: a.n, Mean: a.mean, Min: a.min, Max: a.max, Stddev: a.Stddev()}
 }
 
+// Utilization returns the fraction of available worker time actually spent
+// busy: Σbusy / (workers × wall). It is the dedicated-core pipeline's
+// "writer utilization" metric — the complement of the paper's spare time
+// (§IV-C2 reports dedicated cores idle 75%–99% of the time). It returns 0
+// for a non-positive wall clock or an empty busy set, and clamps to 1 when
+// rounding pushes the ratio slightly above unity.
+func Utilization(busy []float64, wall float64) float64 {
+	if wall <= 0 || len(busy) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range busy {
+		sum += b
+	}
+	u := sum / (wall * float64(len(busy)))
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
 // Histogram is a fixed-width-bin histogram over [Lo, Hi). Values outside the
 // range are clamped into the first/last bin so no sample is lost.
 type Histogram struct {

@@ -234,3 +234,23 @@ func TestSummaryString(t *testing.T) {
 		t.Error("String should be non-empty")
 	}
 }
+
+func TestUtilization(t *testing.T) {
+	cases := []struct {
+		busy []float64
+		wall float64
+		want float64
+	}{
+		{[]float64{1, 1}, 2, 0.5},
+		{[]float64{2, 2}, 2, 1},
+		{[]float64{3, 3}, 2, 1}, // clamped
+		{[]float64{1}, 0, 0},    // no wall clock
+		{nil, 5, 0},             // no workers
+		{[]float64{0, 0, 0}, 4, 0},
+	}
+	for _, c := range cases {
+		if got := Utilization(c.busy, c.wall); got != c.want {
+			t.Errorf("Utilization(%v, %v) = %v, want %v", c.busy, c.wall, got, c.want)
+		}
+	}
+}
