@@ -7,6 +7,8 @@
 //	damaris-bench -experiment fig2 # one experiment
 //	damaris-bench -list            # list experiment IDs
 //	damaris-bench -seed 7          # change the deterministic seed
+//	damaris-bench -persist-bench   # benchmark the DSF persist hot path and
+//	                               # emit BENCH_persist.json (MB/s, allocs/op)
 package main
 
 import (
@@ -20,14 +22,25 @@ import (
 
 func main() {
 	var (
-		id   = flag.String("experiment", "all", "experiment ID to run, or 'all'")
-		seed = flag.Int64("seed", 42, "deterministic seed for all experiments")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
+		id           = flag.String("experiment", "all", "experiment ID to run, or 'all'")
+		seed         = flag.Int64("seed", 42, "deterministic seed for all experiments")
+		list         = flag.Bool("list", false, "list experiment IDs and exit")
+		persistBench = flag.Bool("persist-bench", false,
+			"benchmark the DSF persist path across encode worker counts and emit a JSON report")
+		benchOut = flag.String("bench-out", "BENCH_persist.json", "output path for -persist-bench")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiment.IDs(), "\n"))
+		return
+	}
+
+	if *persistBench {
+		if err := runPersistBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

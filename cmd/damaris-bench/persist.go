@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"damaris/internal/core"
+	"damaris/internal/dsf"
+	"damaris/internal/layout"
+	"damaris/internal/metadata"
+	"damaris/internal/mpi"
+)
+
+// persistBenchResult is one row of BENCH_persist.json — the persist-path
+// throughput/allocation figures tracked across PRs.
+type persistBenchResult struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"encode_workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// persistWorkload builds the benchmark iteration: 8 smooth float32 chunks of
+// 512 KiB each, ShuffleGzip-encoded — the multi-chunk persist the encode
+// pool is built for.
+func persistWorkload() ([]*metadata.Entry, int64) {
+	lay := layout.MustNew(layout.Float32, 128<<10)
+	var entries []*metadata.Entry
+	var total int64
+	for src := 0; src < 8; src++ {
+		xs := make([]float32, 128<<10)
+		for i := range xs {
+			xs[i] = 280 + float32(src) + 8*float32(math.Sin(float64(i)/600))
+		}
+		data := mpi.Float32sToBytes(xs)
+		total += int64(len(data))
+		entries = append(entries, &metadata.Entry{
+			Key:    metadata.Key{Name: "theta", Source: src},
+			Layout: lay,
+			Inline: data,
+		})
+	}
+	return entries, total
+}
+
+// runPersistBench benchmarks the DSF persist path at several encode worker
+// counts and writes the results to outPath as JSON (and to stdout).
+func runPersistBench(outPath string) error {
+	entries, total := persistWorkload()
+	var results []persistBenchResult
+	for _, workers := range []int{0, 1, 2, 4} {
+		workers := workers
+		r := testing.Benchmark(func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "damaris-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			pool := dsf.NewEncodePool(workers)
+			defer pool.Close()
+			pers := &core.DSFPersister{Dir: dir, Codec: dsf.ShuffleGzip, GzipLevel: dsf.DefaultGzipLevel}
+			pers.SetEncodePool(pool)
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pers.Persist(int64(i%64), entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res := persistBenchResult{
+			Name:        fmt.Sprintf("persist_shufflegzip_encode%d", workers),
+			Workers:     workers,
+			NsPerOp:     r.NsPerOp(),
+			MBPerS:      float64(total) / 1e6 / (float64(r.NsPerOp()) / 1e9),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		results = append(results, res)
+		fmt.Printf("%-32s %12d ns/op %8.1f MB/s %6d allocs/op\n",
+			res.Name, res.NsPerOp, res.MBPerS, res.AllocsPerOp)
+	}
+	out, err := json.MarshalIndent(struct {
+		Benchmarks []persistBenchResult `json:"benchmarks"`
+	}{results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"damaris/internal/dsf"
 	"damaris/internal/mpi"
 	"damaris/internal/stats"
+	"damaris/internal/transform"
 )
 
 func main() {
@@ -39,18 +40,24 @@ func main() {
 			"write-behind persist workers per dedicated core (0 = synchronous baseline)")
 		persistQueue = flag.Int("persist-queue", config.DefaultPersistQueueDepth,
 			"in-flight iteration queue depth (also the client flow window when async)")
+		encodeWork = flag.Int("encode-workers", config.DefaultEncodeWorkers,
+			"parallel chunk-encode workers per dedicated core (0 = serial encoding)")
+		gzipLevel = flag.Int("gzip-level", config.DefaultPersistGzipLevel,
+			"gzip level for compressed chunks, full compress/gzip range -2 (HuffmanOnly) to 9")
 	)
 	flag.Parse()
 
 	if err := run(*ranks, *coresPerNode, *steps, *outputEvery, *outDir,
-		*backend, *compress, *bufMB, *allocator, *persistWork, *persistQueue); err != nil {
+		*backend, *compress, *bufMB, *allocator, *persistWork, *persistQueue,
+		*encodeWork, *gzipLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "damaris-run:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
-	compress bool, bufMB int64, allocator string, persistWork, persistQueue int) error {
+	compress bool, bufMB int64, allocator string, persistWork, persistQueue,
+	encodeWork, gzipLevel int) error {
 	if ranks%coresPerNode != 0 {
 		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
 	}
@@ -80,11 +87,17 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		if err != nil {
 			return err
 		}
-		if persistWork < 0 || persistQueue < 1 {
-			return fmt.Errorf("invalid pipeline knobs: workers=%d queue=%d", persistWork, persistQueue)
+		if persistWork < 0 || persistQueue < 1 || encodeWork < 0 {
+			return fmt.Errorf("invalid pipeline knobs: workers=%d queue=%d encode=%d",
+				persistWork, persistQueue, encodeWork)
+		}
+		if !transform.ValidGzipLevel(gzipLevel) {
+			return fmt.Errorf("invalid gzip level %d (want -2..9)", gzipLevel)
 		}
 		cfg.PersistWorkers = persistWork
 		cfg.PersistQueueDepth = persistQueue
+		cfg.EncodeWorkers = encodeWork
+		cfg.PersistGzipLevel = gzipLevel
 	}
 
 	err := mpi.Run(ranks, coresPerNode, func(comm *mpi.Comm) {
@@ -93,12 +106,19 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 
 		switch backend {
 		case "damaris":
-			pers := &core.DSFPersister{Dir: outDir, Codec: codec, Node: comm.Node(), ServerID: comm.Rank()}
+			pers := &core.DSFPersister{Dir: outDir, Codec: codec, GzipLevel: gzipLevel,
+				Node: comm.Node(), ServerID: comm.Rank()}
 			dep, err := core.Deploy(comm, cfg, nil, core.Options{OutputDir: outDir, Persister: pers})
 			if err != nil {
 				panic(err)
 			}
 			if !dep.IsClient() {
+				// This rank's persister is private to this server, so the
+				// server rank owns the encode pool lifecycle (the server
+				// only auto-wires pools for persisters it creates itself).
+				pool := dsf.NewEncodePool(encodeWork)
+				pers.SetEncodePool(pool)
+				defer pool.Close()
 				if err := dep.Server.Run(); err != nil {
 					panic(err)
 				}
@@ -163,6 +183,7 @@ func reportPipeline(ps []core.PipelineStats) {
 	}
 	if ps[0].Workers == 0 {
 		fmt.Printf("persistence: synchronous baseline (persist-workers=0)\n")
+		reportEncode(ps)
 		return
 	}
 	var enq, comp, fail int64
@@ -187,4 +208,32 @@ func reportPipeline(ps []core.PipelineStats) {
 		stats.Mean(depthMeans), maxDepth, stats.Mean(latMeans), stats.Max(latMaxes))
 	fmt.Printf("pipeline: writer utilization mean=%.1f%%; batch size mean=%.2f\n",
 		100*stats.Mean(utils), stats.Mean(batchMeans))
+	reportEncode(ps)
+}
+
+// reportEncode prints the encode-stage metrics, aggregated over all
+// dedicated cores; silent when no encode pool ran.
+func reportEncode(ps []core.PipelineStats) {
+	var chunks, raw, stored, maxFlight int64
+	var latMeans, utils []float64
+	for _, s := range ps {
+		if s.Encode.Workers == 0 {
+			continue
+		}
+		chunks += s.Encode.Chunks
+		raw += s.Encode.RawBytes
+		stored += s.Encode.StoredBytes
+		if s.Encode.MaxBytesInFlight > maxFlight {
+			maxFlight = s.Encode.MaxBytesInFlight
+		}
+		latMeans = append(latMeans, s.Encode.Latency.Mean)
+		utils = append(utils, s.Encode.Utilization)
+	}
+	if chunks == 0 {
+		return
+	}
+	fmt.Printf("encode: %d workers per core; %d chunks, %d -> %d bytes; latency mean=%.2gs; "+
+		"pool utilization mean=%.1f%%; max %d raw bytes in flight\n",
+		ps[0].Encode.Workers, chunks, raw, stored,
+		stats.Mean(latMeans), 100*stats.Mean(utils), maxFlight)
 }

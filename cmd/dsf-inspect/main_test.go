@@ -203,3 +203,79 @@ func TestCorruptedAndTruncatedFiles(t *testing.T) {
 		}
 	})
 }
+
+// writeBatched writes one multi-iteration file the way the write-behind
+// pipeline's batched persister does: several iterations' chunks in a single
+// DSF.
+func writeBatched(t *testing.T, dir string, iters int) string {
+	t.Helper()
+	path := filepath.Join(dir, "batched.dsf")
+	w, err := dsf.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetAttribute("writer", "batched-test")
+	lay := layout.MustNew(layout.Float32, 16, 8)
+	var metas []dsf.ChunkMeta
+	var datas [][]byte
+	for it := int64(0); it < int64(iters); it++ {
+		for src := 0; src < 2; src++ {
+			metas = append(metas, dsf.ChunkMeta{
+				Name: "theta", Iteration: it, Source: src,
+				Layout: lay, Codec: dsf.ShuffleGzip,
+			})
+			datas = append(datas, mpi.Float32sToBytes(goldenField(int(it)*10+src, 16*8)))
+		}
+	}
+	pool := dsf.NewEncodePool(2)
+	defer pool.Close()
+	if err := w.WriteChunks(metas, datas, pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBatchedMultiIterationFiles drives dsf-inspect over multi-iteration
+// (pipeline-batched) files: a healthy one lists and verifies like any
+// single-iteration file, and truncated variants — a writer killed mid-batch
+// — fail as cleanly.
+func TestBatchedMultiIterationFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := writeBatched(t, dir, 4)
+
+	if err := inspect(good, true, true); err != nil {
+		t.Fatalf("healthy batched file: %v", err)
+	}
+	r, err := dsf.Open(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Chunks()); got != 8 {
+		t.Errorf("chunks = %d, want 8 (4 iterations × 2 sources)", got)
+	}
+	r.Close()
+
+	for _, tc := range []struct {
+		name string
+		cut  func(n int) int
+	}{
+		{"mid-first-iteration", func(n int) int { return n / 8 }},
+		{"mid-batch", func(n int) int { return n / 2 }},
+		{"footer-lost", func(n int) int { return n - 10 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, tc.name+".dsf")
+			corrupt(t, good, p, func(b []byte) []byte { return b[:tc.cut(len(b))] })
+			err := inspect(p, true, false)
+			if err == nil {
+				t.Fatal("truncated batched file should fail to open")
+			}
+			if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "footer") {
+				t.Errorf("error %v should identify truncation", err)
+			}
+		})
+	}
+}

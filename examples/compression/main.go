@@ -7,6 +7,7 @@
 package main
 
 import (
+	"compress/gzip"
 	"fmt"
 	"log"
 
@@ -41,16 +42,24 @@ func main() {
 	raw := mpi.Float32sToBytes(field)
 	fmt.Printf("field: %d values, %d bytes raw\n", len(field), len(raw))
 
-	// 1. Plain gzip (what HDF5's deflate filter would do).
-	gz, err := transform.CompressGzip(raw, 0)
+	// 1. Plain gzip (what HDF5's deflate filter would do). Levels follow
+	// compress/gzip exactly, so the whole spectrum is reachable — from
+	// HuffmanOnly (-2, fastest useful) to BestCompression (9).
+	gz, err := transform.CompressGzip(raw, gzip.DefaultCompression)
 	must(err)
 	fmt.Printf("gzip:                     %8d bytes  ratio %.0f%%  (paper: 187%%)\n",
 		len(gz), transform.Ratio(len(raw), len(gz)))
+	for _, level := range []int{gzip.HuffmanOnly, gzip.BestSpeed, gzip.BestCompression} {
+		lgz, err := transform.CompressGzip(raw, level)
+		must(err)
+		fmt.Printf("  gzip level %2d:          %8d bytes  ratio %.0f%%\n",
+			level, len(lgz), transform.Ratio(len(raw), len(lgz)))
+	}
 
 	// 2. Byte-shuffle + gzip (the standard float filter stack).
 	sh, err := transform.Shuffle(raw, 4)
 	must(err)
-	shgz, err := transform.CompressGzip(sh, 0)
+	shgz, err := transform.CompressGzip(sh, gzip.DefaultCompression)
 	must(err)
 	fmt.Printf("shuffle+gzip:             %8d bytes  ratio %.0f%%\n",
 		len(shgz), transform.Ratio(len(raw), len(shgz)))
@@ -61,7 +70,7 @@ func main() {
 	red := transform.ReduceFloat32To16(field)
 	redSh, err := transform.Shuffle(red[20:], 2) // skip the self-describing header
 	must(err)
-	redGz, err := transform.CompressGzip(redSh, 0)
+	redGz, err := transform.CompressGzip(redSh, gzip.DefaultCompression)
 	must(err)
 	fmt.Printf("reduce16+shuffle+gzip:    %8d bytes  ratio %.0f%%  (paper: ~600%%)\n",
 		len(redGz), transform.Ratio(len(raw), len(redGz)))

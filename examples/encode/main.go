@@ -1,0 +1,127 @@
+// encode demonstrates the persistence layer's encode/write split (paper
+// §IV-D: dedicated cores spend their spare multicore parallelism on data
+// transformation): the same multi-chunk ShuffleGzip iteration is written to
+// DSF serially and through encode worker pools of increasing size. The
+// files come out byte-identical — compression fans out across workers while
+// a single streamer appends chunks in deterministic order — and on a
+// multicore host the pooled writes approach disk speed because gzip no
+// longer serializes behind the file.
+//
+// Run with: go run ./examples/encode
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"damaris/internal/dsf"
+	"damaris/internal/layout"
+	"damaris/internal/mpi"
+)
+
+const (
+	chunks     = 16
+	chunkElems = 128 << 10 // 512 KiB of float32 per chunk
+)
+
+func workload() ([]dsf.ChunkMeta, [][]byte) {
+	lay := layout.MustNew(layout.Float32, chunkElems)
+	metas := make([]dsf.ChunkMeta, chunks)
+	datas := make([][]byte, chunks)
+	for c := 0; c < chunks; c++ {
+		xs := make([]float32, chunkElems)
+		for i := range xs {
+			xs[i] = 280 + float32(c) + 10*float32(math.Sin(float64(i)/500))
+		}
+		metas[c] = dsf.ChunkMeta{
+			Name: "theta", Iteration: int64(c / 4), Source: c % 4,
+			Layout: lay, Codec: dsf.ShuffleGzip,
+		}
+		datas[c] = mpi.Float32sToBytes(xs)
+	}
+	return metas, datas
+}
+
+func writeOnce(dir string, workers int, metas []dsf.ChunkMeta, datas [][]byte) (path string, elapsed time.Duration, st dsf.EncodeStats) {
+	pool := dsf.NewEncodePool(workers)
+	defer pool.Close()
+	path = filepath.Join(dir, fmt.Sprintf("encode%d.dsf", workers))
+	start := time.Now()
+	w, err := dsf.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.SetAttribute("writer", "encode-example")
+	if err := w.WriteChunks(metas, datas, pool); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return path, time.Since(start), pool.Stats()
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "damaris-encode")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	metas, datas := workload()
+	var raw int64
+	for _, d := range datas {
+		raw += int64(len(d))
+	}
+	fmt.Printf("— encode/write split: %d ShuffleGzip chunks, %.1f MiB raw —\n\n",
+		chunks, float64(raw)/(1<<20))
+
+	var golden []byte
+	for _, workers := range []int{0, 1, 2, 4} {
+		path, elapsed, st := writeOnce(dir, workers, metas, datas)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		identical := ""
+		if golden == nil {
+			golden = b
+			identical = "(golden)"
+		} else if bytes.Equal(b, golden) {
+			identical = "byte-identical to serial"
+		} else {
+			identical = "DIFFERS FROM SERIAL — bug!"
+		}
+		label := "serial (in-writer encode)"
+		if workers > 0 {
+			label = fmt.Sprintf("%d encode workers", workers)
+		}
+		fmt.Printf("  %-26s %6.1f MB/s  %8d bytes  %s\n",
+			label, float64(raw)/1e6/elapsed.Seconds(), len(b), identical)
+		if workers > 0 {
+			fmt.Printf("    pool: %d chunks, encode latency mean=%.2fms, utilization %.0f%%, max %.1f MiB in flight\n",
+				st.Chunks, st.Latency.Mean*1e3, 100*st.Utilization,
+				float64(st.MaxBytesInFlight)/(1<<20))
+		}
+	}
+
+	// Prove the output is a healthy DSF regardless of worker count.
+	r, err := dsf.Open(filepath.Join(dir, "encode4.dsf"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	m := r.Chunks()[0]
+	fmt.Printf("\nverified %d chunks; chunk 0: %d -> %d bytes (%.0f%% ratio)\n",
+		len(r.Chunks()), m.RawSize, m.Stored, 100*float64(m.RawSize)/float64(m.Stored))
+	fmt.Println("\nOne streamer owns the byte stream; N workers own the compression. The")
+	fmt.Println("file format never sees the parallelism — output is deterministic.")
+}

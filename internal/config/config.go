@@ -18,10 +18,10 @@
 // # Persistence pipeline
 //
 // The dedicated core's flush path is an asynchronous write-behind pipeline
-// (paper §III: I/O overlaps the clients' next compute phase). Two knobs
+// (paper §III: I/O overlaps the clients' next compute phase). Four knobs
 // shape it, declared on an optional <pipeline> element:
 //
-//		<pipeline workers="4" queue="8"/>
+//		<pipeline workers="4" queue="8" encode_workers="4" gzip_level="-1"/>
 //
 //	  - workers (PersistWorkers) is the number of writer goroutines draining
 //	    completed iterations. 0 selects the synchronous baseline: the event
@@ -34,9 +34,19 @@
 //	    window: clients may run at most `queue` iterations ahead of the last
 //	    durably flushed one, so the shared buffer must hold queue+1 write
 //	    phases for guaranteed liveness under the mutex allocator.
+//	  - encode_workers (EncodeWorkers) sizes the chunk-encode pool shared by
+//	    the dedicated core's persist writers: compression/shuffle runs on
+//	    that many goroutines in parallel while one streamer appends the
+//	    results in deterministic order (paper §IV-D: transformations use the
+//	    node's spare cores). 0 encodes serially inside the persist writer —
+//	    the pre-pool behavior.
+//	  - gzip_level (PersistGzipLevel) is the compress/gzip level for
+//	    compressed chunks, the full stdlib range: -2 (HuffmanOnly), -1
+//	    (default), 0 (store) through 9 (best).
 package config
 
 import (
+	"compress/gzip"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -65,6 +75,13 @@ type Config struct {
 	// persist workers; it is also the client flow-control window when the
 	// pipeline is asynchronous.
 	PersistQueueDepth int
+	// EncodeWorkers is the size of the per-dedicated-core chunk-encode pool
+	// (parallel compression/shuffle feeding a single ordered file streamer);
+	// 0 encodes serially inside each persist writer.
+	EncodeWorkers int
+	// PersistGzipLevel is the compress/gzip level for compressed chunks,
+	// accepting the full stdlib range gzip.HuffmanOnly (-2) through 9.
+	PersistGzipLevel int
 	// Layouts maps layout names to normalized (C-order) layouts.
 	Layouts map[string]layout.Layout
 	// Variables maps variable names to their declarations.
@@ -108,10 +125,13 @@ type xmlBuffer struct {
 
 // xmlPipeline's attributes are strings so an absent attribute (which
 // selects the default) is distinguishable from an explicit "0" — which is
-// the synchronous baseline for workers, and an error for queue.
+// the synchronous baseline for workers, serial encoding for encode_workers,
+// gzip.NoCompression for gzip_level, and an error for queue.
 type xmlPipeline struct {
-	Workers string `xml:"workers,attr"`
-	Queue   string `xml:"queue,attr"`
+	Workers       string `xml:"workers,attr"`
+	Queue         string `xml:"queue,attr"`
+	EncodeWorkers string `xml:"encode_workers,attr"`
+	GzipLevel     string `xml:"gzip_level,attr"`
 }
 
 type xmlLayout struct {
@@ -142,6 +162,8 @@ const (
 	DefaultDedicatedCores    = 1
 	DefaultPersistWorkers    = 1
 	DefaultPersistQueueDepth = 1
+	DefaultEncodeWorkers     = 0                       // serial in-writer encoding
+	DefaultPersistGzipLevel  = gzip.DefaultCompression // -1
 )
 
 // Parse reads configuration XML from r.
@@ -197,9 +219,13 @@ func build(f *xmlFile) (*Config, error) {
 	}
 
 	// Pipeline knobs: absent element means defaults; a present element may
-	// explicitly set workers="0" to request the synchronous baseline.
+	// explicitly set workers="0" to request the synchronous baseline (and
+	// likewise encode_workers="0" for serial encoding, gzip_level="0" for
+	// stored gzip streams).
 	c.PersistWorkers = DefaultPersistWorkers
 	c.PersistQueueDepth = DefaultPersistQueueDepth
+	c.EncodeWorkers = DefaultEncodeWorkers
+	c.PersistGzipLevel = DefaultPersistGzipLevel
 	if f.Pipeline != nil {
 		if f.Pipeline.Workers != "" {
 			w, err := strconv.Atoi(f.Pipeline.Workers)
@@ -220,6 +246,27 @@ func build(f *xmlFile) (*Config, error) {
 				return nil, fmt.Errorf("config: persist queue depth must be at least 1, got %d", q)
 			}
 			c.PersistQueueDepth = q
+		}
+		if f.Pipeline.EncodeWorkers != "" {
+			e, err := strconv.Atoi(f.Pipeline.EncodeWorkers)
+			if err != nil {
+				return nil, fmt.Errorf("config: encode worker count %q: %w", f.Pipeline.EncodeWorkers, err)
+			}
+			if e < 0 {
+				return nil, fmt.Errorf("config: negative encode worker count %d", e)
+			}
+			c.EncodeWorkers = e
+		}
+		if f.Pipeline.GzipLevel != "" {
+			l, err := strconv.Atoi(f.Pipeline.GzipLevel)
+			if err != nil {
+				return nil, fmt.Errorf("config: gzip level %q: %w", f.Pipeline.GzipLevel, err)
+			}
+			if l < gzip.HuffmanOnly || l > gzip.BestCompression {
+				return nil, fmt.Errorf("config: gzip level %d outside compress/gzip range [%d,%d]",
+					l, gzip.HuffmanOnly, gzip.BestCompression)
+			}
+			c.PersistGzipLevel = l
 		}
 	}
 

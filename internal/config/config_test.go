@@ -1,6 +1,7 @@
 package config
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -247,5 +248,50 @@ func TestPipelineWorkersAttrAbsentKeepsDefault(t *testing.T) {
 	}
 	if _, err := ParseString(`<simulation><pipeline workers="many"/></simulation>`); err == nil {
 		t.Error("non-numeric workers should fail")
+	}
+}
+
+func TestPipelineEncodeKnobs(t *testing.T) {
+	c, err := ParseString(`<simulation><pipeline encode_workers="4" gzip_level="9"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EncodeWorkers != 4 || c.PersistGzipLevel != 9 {
+		t.Errorf("encode knobs = %d workers / level %d, want 4/9", c.EncodeWorkers, c.PersistGzipLevel)
+	}
+	// Absent attributes keep the defaults: serial encoding, default level.
+	c, err = ParseString(`<simulation><pipeline workers="2"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EncodeWorkers != DefaultEncodeWorkers || c.PersistGzipLevel != DefaultPersistGzipLevel {
+		t.Errorf("defaults = %d workers / level %d, want %d/%d",
+			c.EncodeWorkers, c.PersistGzipLevel, DefaultEncodeWorkers, DefaultPersistGzipLevel)
+	}
+}
+
+func TestPipelineGzipLevelFullRange(t *testing.T) {
+	// The whole stdlib range is expressible, including the levels an
+	// implicit "0 means default" convention would shadow: explicit 0
+	// (NoCompression) and -2 (HuffmanOnly).
+	for _, level := range []int{-2, -1, 0, 1, 5, 9} {
+		c, err := ParseString(fmt.Sprintf(`<simulation><pipeline gzip_level="%d"/></simulation>`, level))
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if c.PersistGzipLevel != level {
+			t.Errorf("PersistGzipLevel = %d, want %d", c.PersistGzipLevel, level)
+		}
+	}
+	for _, bad := range []string{"-3", "10", "fast"} {
+		if _, err := ParseString(`<simulation><pipeline gzip_level="` + bad + `"/></simulation>`); err == nil {
+			t.Errorf("gzip_level=%q should fail", bad)
+		}
+	}
+	if _, err := ParseString(`<simulation><pipeline encode_workers="-1"/></simulation>`); err == nil {
+		t.Error("negative encode_workers should fail")
+	}
+	if _, err := ParseString(`<simulation><pipeline encode_workers="lots"/></simulation>`); err == nil {
+		t.Error("non-numeric encode_workers should fail")
 	}
 }

@@ -480,7 +480,7 @@ func TestServerStats(t *testing.T) {
 func TestDSFPersisterEndToEnd(t *testing.T) {
 	cfg := testCfg(t, "mutex", 1)
 	dir := t.TempDir()
-	pers := &DSFPersister{Dir: dir, Codec: dsf.ShuffleGzip, Node: 0, ServerID: 3}
+	pers := &DSFPersister{Dir: dir, Codec: dsf.ShuffleGzip, GzipLevel: dsf.DefaultGzipLevel, Node: 0, ServerID: 3}
 	err := mpi.Run(4, 4, func(comm *mpi.Comm) {
 		dep, _ := Deploy(comm, cfg, nil, Options{OutputDir: dir, Persister: pers})
 		if dep.IsClient() {

@@ -41,12 +41,41 @@ type DSFPersister struct {
 	// paper's overhead-free compression, since it runs on the dedicated
 	// core's spare time).
 	Codec dsf.Codec
+	// GzipLevel is the compress/gzip level for Gzip/ShuffleGzip chunks,
+	// following compress/gzip exactly: the zero value is
+	// gzip.NoCompression (stored), -1 the default level, -2 HuffmanOnly.
+	// Constructors that want default compression must say so
+	// (dsf.DefaultGzipLevel); config-driven deployments get it from the
+	// pipeline's gzip_level attribute (Config.PersistGzipLevel).
+	GzipLevel int
 	// Node and ServerID name the output files.
 	Node     int
 	ServerID int
 
 	mu    sync.Mutex
+	pool  *dsf.EncodePool
 	files []string
+}
+
+// SetEncodePool attaches the encode worker pool chunks are compressed on;
+// nil (or no call) keeps serial encoding. The caller owns the pool's
+// lifecycle and must not Close it while Persist calls are in flight. The
+// server wires this automatically for the default persister it creates;
+// externally constructed persisters opt in explicitly (as cmd/damaris-run
+// does), since a persister shared across servers must not have its pool
+// torn down by whichever server finishes first.
+func (p *DSFPersister) SetEncodePool(pool *dsf.EncodePool) {
+	p.mu.Lock()
+	p.pool = pool
+	p.mu.Unlock()
+}
+
+// EncodePool returns the attached encode pool, if any — the server reads it
+// for encode-stage metrics.
+func (p *DSFPersister) EncodePool() *dsf.EncodePool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool
 }
 
 // Persist writes all entries of the iteration into one new DSF file.
@@ -98,10 +127,16 @@ func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry) error {
 	if err != nil {
 		return err
 	}
+	if err := w.SetGzipLevel(p.GzipLevel); err != nil {
+		w.Close()
+		return err
+	}
 	w.SetAttribute("writer", "damaris-dedicated-core")
 	w.SetAttribute("node", fmt.Sprint(p.Node))
-	for _, e := range entries {
-		meta := dsf.ChunkMeta{
+	metas := make([]dsf.ChunkMeta, len(entries))
+	datas := make([][]byte, len(entries))
+	for i, e := range entries {
+		metas[i] = dsf.ChunkMeta{
 			Name:      e.Key.Name,
 			Iteration: e.Key.Iteration,
 			Source:    e.Key.Source,
@@ -109,10 +144,11 @@ func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry) error {
 			Global:    e.Global,
 			Codec:     p.Codec,
 		}
-		if err := w.WriteChunk(meta, e.Bytes()); err != nil {
-			w.Close()
-			return err
-		}
+		datas[i] = e.Bytes()
+	}
+	if err := w.WriteChunks(metas, datas, p.EncodePool()); err != nil {
+		w.Close()
+		return err
 	}
 	if err := w.Close(); err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"damaris/internal/dsf"
 	"damaris/internal/metadata"
 	"damaris/internal/stats"
 )
@@ -284,6 +285,10 @@ type PipelineStats struct {
 	WriterBusy []float64
 	// Utilization is Σbusy/(workers×wall) over the pipeline's lifetime.
 	Utilization float64
+	// Encode snapshots the shared chunk-encode pool (zero when
+	// encode_workers is 0 or the persister does not support pooled
+	// encoding). Filled by Server.PipelineStats, not by the pipeline itself.
+	Encode dsf.EncodeStats
 }
 
 // snapshot captures the pipeline metrics at a point in time.

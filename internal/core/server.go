@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"damaris/internal/config"
+	"damaris/internal/dsf"
 	"damaris/internal/event"
 	"damaris/internal/metadata"
 	"damaris/internal/stats"
@@ -40,7 +41,8 @@ type Server struct {
 	group     int // dedicated-core index within the node
 	persister Persister
 	scheduler Scheduler
-	pipe      *pipeline // nil in the synchronous baseline
+	pipe      *pipeline       // nil in the synchronous baseline
+	encPool   *dsf.EncodePool // nil when encode_workers is 0
 
 	closeOnce sync.Once
 
@@ -79,7 +81,22 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		scheduler: opts.Scheduler,
 	}
 	if s.persister == nil {
-		s.persister = &DSFPersister{Dir: opts.OutputDir, Node: node, ServerID: worldRank}
+		// The encode pool is shared by every persist writer of this
+		// dedicated core: chunk compression fans out across encode_workers
+		// goroutines while each writer streams its file in deterministic
+		// order. The server only installs (and owns) a pool on the default
+		// persister it creates here — an externally provided persister may
+		// be shared across servers, where per-server pool installation
+		// would race and the first server to close would tear the pool out
+		// from under the others; such persisters wire their own pool (see
+		// DSFPersister.SetEncodePool).
+		p := &DSFPersister{Dir: opts.OutputDir, Node: node, ServerID: worldRank,
+			GzipLevel: cfg.PersistGzipLevel}
+		if cfg.EncodeWorkers > 0 {
+			s.encPool = dsf.NewEncodePool(cfg.EncodeWorkers)
+			p.SetEncodePool(s.encPool)
+		}
+		s.persister = p
 	}
 	if cfg.PersistWorkers > 0 {
 		s.pipe = newPipeline(s.persister, s.scheduler,
@@ -172,6 +189,9 @@ func (s *Server) Close() error {
 		if s.pipe != nil {
 			s.pipe.close()
 		}
+		// Encode workers stop only after every persist writer drained: a
+		// writer mid-WriteChunks still needs them.
+		s.encPool.Close()
 		s.seg.Close()
 		if s.fc != nil {
 			s.fc.close()
@@ -322,20 +342,33 @@ func (s *Server) FlushLatencies() []float64 {
 }
 
 // PipelineStats snapshots the write-behind pipeline's per-stage metrics
-// (queue depth, flush latency, batch size, writer utilization). In the
-// synchronous baseline it reports Workers=0 with only FlushLatency filled.
+// (queue depth, flush latency, batch size, writer utilization, encode-stage
+// latency and pool utilization). In the synchronous baseline it reports
+// Workers=0 with only FlushLatency and Encode filled.
 func (s *Server) PipelineStats() PipelineStats {
+	var ps PipelineStats
 	if s.pipe == nil {
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		return PipelineStats{
+		ps = PipelineStats{
 			Enqueued:     int64(len(s.flushLats)),
 			Completed:    int64(len(s.flushLats)),
 			Failures:     s.syncFails,
 			FlushLatency: stats.Summarize(s.flushLats),
 		}
+		s.mu.Unlock()
+	} else {
+		ps = s.pipe.snapshot(s.cfg.PersistQueueDepth)
 	}
-	return s.pipe.snapshot(s.cfg.PersistQueueDepth)
+	// Report the pool this server owns, or the one an external persister
+	// carries; nil pools yield zero stats.
+	pool := s.encPool
+	if pool == nil {
+		if pp, ok := s.persister.(interface{ EncodePool() *dsf.EncodePool }); ok {
+			pool = pp.EncodePool()
+		}
+	}
+	ps.Encode = pool.Stats()
+	return ps
 }
 
 // Persister is the persistency layer invoked once per completed iteration

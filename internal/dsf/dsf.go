@@ -10,7 +10,7 @@
 // codec (gzip, or byte-shuffle + gzip — the same filters HDF5 offers). File
 // structure:
 //
-//	[magic "DSFv0001"]
+//	[magic "DSFv0002"]
 //	[chunk payloads ...]
 //	[gob-encoded table of contents]
 //	[toc offset : 8 bytes LE][toc length : 8 bytes LE][magic "DSFINDEX"]
@@ -18,24 +18,35 @@
 // Chunks stream to disk as they arrive; the table of contents is written
 // once at Close, so a writer failure leaves a detectably truncated file
 // rather than a silently corrupt one.
+//
+// Encoding is deterministic: for a fixed chunk sequence and gzip level the
+// produced file is byte-identical regardless of how many encode workers
+// (see EncodePool) ran the compression, and the table of contents is
+// serialized in a canonical (sorted-attribute) order.
 package dsf
 
 import (
+	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 
 	"damaris/internal/layout"
 	"damaris/internal/transform"
 )
 
-// Format magics.
+// Format magics. v0002 switched the TOC's attribute encoding from a gob map
+// to a key-sorted slice (deterministic bytes); bumping the magic makes old
+// files fail loudly instead of silently losing their attributes to gob's
+// ignore-unknown-fields decoding.
 var (
-	headMagic = []byte("DSFv0001")
+	headMagic = []byte("DSFv0002")
 	tailMagic = []byte("DSFINDEX")
 )
 
@@ -94,16 +105,36 @@ type tocRecord struct {
 	CRC         uint32
 }
 
-type toc struct {
-	Records    []tocRecord
-	Attributes map[string]string
+// tocAttr is one file-level attribute in the on-disk TOC. Attributes are
+// serialized as a key-sorted slice (not a map) so TOC bytes are
+// deterministic for identical content.
+type tocAttr struct {
+	Key, Value string
 }
 
-// Writer streams chunks into a DSF file.
+type toc struct {
+	Records []tocRecord
+	Attrs   []tocAttr
+}
+
+// DefaultGzipLevel is the compression level new writers start with.
+const DefaultGzipLevel = gzip.DefaultCompression
+
+// writeBufferSize is the bufio buffer in front of the output file: small
+// chunks, the TOC and the footer coalesce into large sequential writes
+// instead of one syscall per tiny piece.
+const writeBufferSize = 256 << 10
+
+// Writer streams chunks into a DSF file. It is not safe for concurrent use;
+// parallelism belongs in the encode stage (WriteChunks with an EncodePool),
+// never in the byte stream.
 type Writer struct {
 	f      *os.File
+	bw     *bufio.Writer
 	offset int64
-	toc    toc
+	recs   []tocRecord
+	attrs  map[string]string
+	level  int // gzip level for Gzip/ShuffleGzip chunks
 	closed bool
 }
 
@@ -113,26 +144,39 @@ func Create(path string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dsf: %w", err)
 	}
-	if _, err := f.Write(headMagic); err != nil {
+	w := &Writer{
+		f:      f,
+		bw:     bufio.NewWriterSize(f, writeBufferSize),
+		offset: int64(len(headMagic)),
+		attrs:  make(map[string]string),
+		level:  DefaultGzipLevel,
+	}
+	if _, err := w.bw.Write(headMagic); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("dsf: header: %w", err)
 	}
-	return &Writer{
-		f:      f,
-		offset: int64(len(headMagic)),
-		toc:    toc{Attributes: make(map[string]string)},
-	}, nil
+	return w, nil
+}
+
+// SetGzipLevel selects the compression level for subsequently written
+// Gzip/ShuffleGzip chunks. The full compress/gzip range is accepted:
+// gzip.HuffmanOnly (-2) through gzip.BestCompression (9).
+func (w *Writer) SetGzipLevel(level int) error {
+	if !transform.ValidGzipLevel(level) {
+		return fmt.Errorf("dsf: invalid gzip level %d", level)
+	}
+	w.level = level
+	return nil
 }
 
 // SetAttribute records a file-level key/value attribute (units, provenance,
 // simulation parameters — the "enriched dataset" metadata of §III-A).
 func (w *Writer) SetAttribute(key, value string) {
-	w.toc.Attributes[key] = value
+	w.attrs[key] = value
 }
 
-// WriteChunk encodes and appends one dataset chunk. data length must match
-// meta.Layout.Bytes().
-func (w *Writer) WriteChunk(meta ChunkMeta, data []byte) error {
+// validateChunk checks one chunk before any bytes are spent encoding it.
+func (w *Writer) validateChunk(meta ChunkMeta, data []byte) error {
 	if w.closed {
 		return fmt.Errorf("dsf: write on closed writer")
 	}
@@ -146,11 +190,30 @@ func (w *Writer) WriteChunk(meta ChunkMeta, data []byte) error {
 		return fmt.Errorf("dsf: chunk %q: layout %v wants %d bytes, got %d",
 			meta.Name, meta.Layout, meta.Layout.Bytes(), len(data))
 	}
-	stored, err := encode(data, meta.Codec, meta.Layout.Type().Size())
+	if meta.Codec > ShuffleGzip {
+		return fmt.Errorf("dsf: chunk %q: unknown codec %v", meta.Name, meta.Codec)
+	}
+	return nil
+}
+
+// WriteChunk encodes and appends one dataset chunk. data length must match
+// meta.Layout.Bytes().
+func (w *Writer) WriteChunk(meta ChunkMeta, data []byte) error {
+	if err := w.validateChunk(meta, data); err != nil {
+		return err
+	}
+	ec, err := encodeChunk(data, meta.Codec, meta.Layout.Type().Size(), w.level)
 	if err != nil {
 		return fmt.Errorf("dsf: chunk %q: %w", meta.Name, err)
 	}
-	if _, err := w.f.Write(stored); err != nil {
+	err = w.appendEncoded(meta, int64(len(data)), ec)
+	ec.release()
+	return err
+}
+
+// appendEncoded streams one already-encoded chunk and records its TOC entry.
+func (w *Writer) appendEncoded(meta ChunkMeta, rawSize int64, ec encodedChunk) error {
+	if _, err := w.bw.Write(ec.stored); err != nil {
 		return fmt.Errorf("dsf: chunk %q: %w", meta.Name, err)
 	}
 	rec := tocRecord{
@@ -159,17 +222,17 @@ func (w *Writer) WriteChunk(meta ChunkMeta, data []byte) error {
 		Source:     meta.Source,
 		LayoutDesc: meta.Layout.Marshal(),
 		Codec:      uint8(meta.Codec),
-		RawSize:    int64(len(data)),
-		Stored:     int64(len(stored)),
+		RawSize:    rawSize,
+		Stored:     int64(len(ec.stored)),
 		Offset:     w.offset,
-		CRC:        crc32.ChecksumIEEE(stored),
+		CRC:        ec.crc,
 	}
 	if meta.Global.Valid() {
 		rec.GlobalStart = append([]int64(nil), meta.Global.Start...)
 		rec.GlobalCount = append([]int64(nil), meta.Global.Count...)
 	}
-	w.toc.Records = append(w.toc.Records, rec)
-	w.offset += int64(len(stored))
+	w.recs = append(w.recs, rec)
+	w.offset += int64(len(ec.stored))
 	return nil
 }
 
@@ -177,18 +240,25 @@ func (w *Writer) WriteChunk(meta ChunkMeta, data []byte) error {
 // header and TOC) — the figure throughput is computed from.
 func (w *Writer) StoredBytes() int64 { return w.offset - int64(len(headMagic)) }
 
-// Close writes the table of contents and footer and closes the file.
+// Close writes the table of contents and footer and closes the file. The
+// TOC, footer and any still-buffered chunk bytes leave in one coalesced
+// flush rather than a syscall per piece.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
+	t := toc{Records: w.recs, Attrs: make([]tocAttr, 0, len(w.attrs))}
+	for k, v := range w.attrs {
+		t.Attrs = append(t.Attrs, tocAttr{Key: k, Value: v})
+	}
+	sort.Slice(t.Attrs, func(i, j int) bool { return t.Attrs[i].Key < t.Attrs[j].Key })
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&w.toc); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(&t); err != nil {
 		w.f.Close()
 		return fmt.Errorf("dsf: toc encode: %w", err)
 	}
-	if _, err := w.f.Write(buf.Bytes()); err != nil {
+	if _, err := w.bw.Write(buf.Bytes()); err != nil {
 		w.f.Close()
 		return fmt.Errorf("dsf: toc write: %w", err)
 	}
@@ -196,38 +266,37 @@ func (w *Writer) Close() error {
 	binary.LittleEndian.PutUint64(foot[0:], uint64(w.offset))
 	binary.LittleEndian.PutUint64(foot[8:], uint64(buf.Len()))
 	copy(foot[16:], tailMagic)
-	if _, err := w.f.Write(foot[:]); err != nil {
+	if _, err := w.bw.Write(foot[:]); err != nil {
 		w.f.Close()
 		return fmt.Errorf("dsf: footer: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("dsf: flush: %w", err)
 	}
 	return w.f.Close()
 }
 
-func encode(data []byte, c Codec, elemSize int) ([]byte, error) {
-	switch c {
-	case None:
-		return data, nil
-	case Gzip:
-		return transform.CompressGzip(data, 0)
-	case ShuffleGzip:
-		sh, err := transform.Shuffle(data, elemSize)
-		if err != nil {
-			return nil, err
+// decode reverses encodeChunk. rawSize (from the TOC) sizes the
+// decompression buffer so the decode runs in one pass instead of growing
+// through io.ReadAll; an implausible value — negative, ≥2 GiB, or beyond
+// deflate's ~1032:1 expansion limit for the stored bytes — degrades to
+// unhinted decoding rather than trusting a corrupt TOC with a huge upfront
+// allocation.
+func decode(stored []byte, c Codec, elemSize int, rawSize int64) ([]byte, error) {
+	hint := func() []byte {
+		if rawSize > 0 && rawSize < 1<<31 && rawSize <= 1032*int64(len(stored))+64 {
+			return make([]byte, 0, rawSize)
 		}
-		return transform.CompressGzip(sh, 0)
-	default:
-		return nil, fmt.Errorf("unknown codec %v", c)
+		return nil
 	}
-}
-
-func decode(stored []byte, c Codec, elemSize int) ([]byte, error) {
 	switch c {
 	case None:
 		return stored, nil
 	case Gzip:
-		return transform.DecompressGzip(stored)
+		return transform.DecompressGzipTo(hint(), stored)
 	case ShuffleGzip:
-		raw, err := transform.DecompressGzip(stored)
+		raw, err := transform.DecompressGzipTo(hint(), stored)
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +309,8 @@ func decode(stored []byte, c Codec, elemSize int) ([]byte, error) {
 // Reader reads a DSF file.
 type Reader struct {
 	f     *os.File
-	toc   toc
+	recs  []tocRecord
+	attrs map[string]string
 	metas []ChunkMeta
 }
 
@@ -289,11 +359,17 @@ func (r *Reader) load() error {
 	if _, err := r.f.ReadAt(tocBytes, tocOff); err != nil {
 		return fmt.Errorf("dsf: toc read: %w", err)
 	}
-	if err := gob.NewDecoder(bytes.NewReader(tocBytes)).Decode(&r.toc); err != nil {
+	var t toc
+	if err := gob.NewDecoder(bytes.NewReader(tocBytes)).Decode(&t); err != nil {
 		return fmt.Errorf("dsf: toc decode: %w", err)
 	}
-	r.metas = make([]ChunkMeta, len(r.toc.Records))
-	for i, rec := range r.toc.Records {
+	r.recs = t.Records
+	r.attrs = make(map[string]string, len(t.Attrs))
+	for _, a := range t.Attrs {
+		r.attrs[a.Key] = a.Value
+	}
+	r.metas = make([]ChunkMeta, len(r.recs))
+	for i, rec := range r.recs {
 		l, err := layout.Unmarshal(rec.LayoutDesc)
 		if err != nil {
 			return fmt.Errorf("dsf: chunk %d layout: %w", i, err)
@@ -319,15 +395,15 @@ func (r *Reader) load() error {
 func (r *Reader) Chunks() []ChunkMeta { return r.metas }
 
 // Attributes returns the file-level attributes.
-func (r *Reader) Attributes() map[string]string { return r.toc.Attributes }
+func (r *Reader) Attributes() map[string]string { return r.attrs }
 
 // ReadChunk returns the decoded payload of chunk index i, verifying its
 // checksum.
 func (r *Reader) ReadChunk(i int) ([]byte, error) {
-	if i < 0 || i >= len(r.toc.Records) {
-		return nil, fmt.Errorf("dsf: chunk index %d out of range [0,%d)", i, len(r.toc.Records))
+	if i < 0 || i >= len(r.recs) {
+		return nil, fmt.Errorf("dsf: chunk index %d out of range [0,%d)", i, len(r.recs))
 	}
-	rec := r.toc.Records[i]
+	rec := r.recs[i]
 	stored := make([]byte, rec.Stored)
 	if _, err := r.f.ReadAt(stored, rec.Offset); err != nil {
 		return nil, fmt.Errorf("dsf: chunk %d read: %w", i, err)
@@ -335,7 +411,7 @@ func (r *Reader) ReadChunk(i int) ([]byte, error) {
 	if crc := crc32.ChecksumIEEE(stored); crc != rec.CRC {
 		return nil, fmt.Errorf("dsf: chunk %d checksum mismatch (%08x != %08x)", i, crc, rec.CRC)
 	}
-	data, err := decode(stored, Codec(rec.Codec), r.metas[i].Layout.Type().Size())
+	data, err := decode(stored, Codec(rec.Codec), r.metas[i].Layout.Type().Size(), rec.RawSize)
 	if err != nil {
 		return nil, fmt.Errorf("dsf: chunk %d: %w", i, err)
 	}

@@ -218,6 +218,53 @@ func TestEmptyFileRoundTrip(t *testing.T) {
 	}
 }
 
+// StoredBytes and the TOC offsets must stay exact now that chunk, TOC and
+// footer writes coalesce in a bufio layer: the counter tracks logical bytes,
+// not flushed ones.
+func TestStoredBytesWithBufferedWrites(t *testing.T) {
+	path := tmpfile(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := layout.MustNew(layout.Byte, 100)
+	// Many small chunks: all of them fit inside the write buffer, so
+	// nothing has hit the file when StoredBytes is read.
+	const chunks = 20
+	for i := 0; i < chunks; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, 100)
+		if err := w.WriteChunk(ChunkMeta{Name: "x", Iteration: int64(i), Layout: lay}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.StoredBytes(); got != chunks*100 {
+		t.Errorf("StoredBytes = %d before Close, want %d", got, chunks*100)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() >= chunks*100 {
+		t.Errorf("expected writes to be buffered, file is %v bytes (err %v)", st.Size(), err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.StoredBytes(); got != chunks*100 {
+		t.Errorf("StoredBytes = %d after Close, want %d (TOC/footer must not count)", got, chunks*100)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < chunks; i++ {
+		b, err := r.ReadChunk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(i) {
+			t.Errorf("chunk %d payload wrong after buffered write", i)
+		}
+	}
+}
+
 func TestCodecStrings(t *testing.T) {
 	if None.String() != "none" || Gzip.String() != "gzip" || ShuffleGzip.String() != "shuffle+gzip" {
 		t.Error("codec strings wrong")

@@ -1,0 +1,302 @@
+package dsf
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"damaris/internal/stats"
+	"damaris/internal/transform"
+)
+
+// This file is the encode/write split of the persistence hot path (paper
+// §IV-D, "potential use of spare time"): chunk transformation — shuffle,
+// deflate, checksum — is CPU work that parallelizes perfectly across the
+// node's spare cores, while the byte stream into one file must stay
+// sequential. An EncodePool runs the former on N workers; Writer.WriteChunks
+// streams completed chunks in submission order, so the file bytes never
+// depend on worker count or scheduling.
+
+// scratchBuf is a pooled, reusable byte buffer for encode output and
+// shuffle scratch space.
+type scratchBuf struct{ b []byte }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratchBuf) }}
+
+// encodedChunk is one chunk's storage encoding. For codec None, stored
+// aliases the caller's data (zero-copy) and buf is nil; otherwise stored
+// aliases buf's pooled backing array, returned to the pool by release.
+type encodedChunk struct {
+	stored []byte
+	buf    *scratchBuf
+	crc    uint32
+}
+
+// release recycles the chunk's pooled buffer, if any. The stored slice must
+// not be used afterwards.
+func (ec *encodedChunk) release() {
+	if ec.buf != nil {
+		ec.buf.b = ec.stored[:0]
+		scratchPool.Put(ec.buf)
+		ec.buf = nil
+	}
+}
+
+// encodeChunk encodes data for storage with pooled buffers: the gzip
+// compressor, the shuffle scratch space and the output buffer are all
+// recycled, so a steady-state encode performs no large allocations.
+func encodeChunk(data []byte, c Codec, elemSize, level int) (encodedChunk, error) {
+	switch c {
+	case None:
+		return encodedChunk{stored: data, crc: crc32.ChecksumIEEE(data)}, nil
+	case Gzip:
+		out := scratchPool.Get().(*scratchBuf)
+		stored, err := transform.CompressGzipTo(out.b, data, level)
+		if err != nil {
+			scratchPool.Put(out)
+			return encodedChunk{}, err
+		}
+		return encodedChunk{stored: stored, buf: out, crc: crc32.ChecksumIEEE(stored)}, nil
+	case ShuffleGzip:
+		sh := scratchPool.Get().(*scratchBuf)
+		shuffled, err := transform.ShuffleTo(sh.b, data, elemSize)
+		if err != nil {
+			scratchPool.Put(sh)
+			return encodedChunk{}, err
+		}
+		sh.b = shuffled
+		out := scratchPool.Get().(*scratchBuf)
+		stored, err := transform.CompressGzipTo(out.b, shuffled, level)
+		scratchPool.Put(sh)
+		if err != nil {
+			scratchPool.Put(out)
+			return encodedChunk{}, err
+		}
+		return encodedChunk{stored: stored, buf: out, crc: crc32.ChecksumIEEE(stored)}, nil
+	default:
+		return encodedChunk{}, fmt.Errorf("unknown codec %v", c)
+	}
+}
+
+// encodeJob is one chunk travelling to an encode worker.
+type encodeJob struct {
+	data     []byte
+	codec    Codec
+	elemSize int
+	level    int
+	result   chan<- encodeResult
+}
+
+type encodeResult struct {
+	ec  encodedChunk
+	err error
+}
+
+// EncodePool is a shared pool of chunk-encode workers. One pool serves a
+// whole dedicated core (all its persist writers submit to it), sized by the
+// encode_workers config knob. Methods are safe for concurrent use; all of
+// them tolerate a nil receiver, which behaves as "no pool" (serial encode).
+type EncodePool struct {
+	workers int
+	jobs    chan encodeJob
+	wg      sync.WaitGroup
+	start   time.Time
+
+	mu          sync.Mutex
+	chunks      int64
+	rawBytes    int64
+	storedBytes int64
+	failures    int64
+	latAcc      stats.Accumulator
+	busy        []float64
+	inFlight    int64
+	maxInFlight int64
+}
+
+// NewEncodePool starts workers encode goroutines. workers <= 0 returns nil,
+// the serial no-pool mode every consumer accepts.
+func NewEncodePool(workers int) *EncodePool {
+	if workers <= 0 {
+		return nil
+	}
+	p := &EncodePool{
+		workers: workers,
+		jobs:    make(chan encodeJob, workers),
+		start:   time.Now(),
+		busy:    make([]float64, workers),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// Workers returns the pool size (0 for a nil pool).
+func (p *EncodePool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// Close stops the workers after draining submitted jobs. No WriteChunks call
+// may be in flight or submitted afterwards.
+func (p *EncodePool) Close() {
+	if p == nil {
+		return
+	}
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+func (p *EncodePool) worker(id int) {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		start := time.Now()
+		ec, err := encodeChunk(job.data, job.codec, job.elemSize, job.level)
+		dur := time.Since(start).Seconds()
+		p.mu.Lock()
+		p.busy[id] += dur
+		p.latAcc.Add(dur)
+		p.chunks++
+		p.rawBytes += int64(len(job.data))
+		if err != nil {
+			p.failures++
+		} else {
+			p.storedBytes += int64(len(ec.stored))
+		}
+		p.mu.Unlock()
+		job.result <- encodeResult{ec: ec, err: err}
+	}
+}
+
+// submit queues one chunk, tracking the raw bytes in flight between
+// submission and drain.
+func (p *EncodePool) submit(job encodeJob, raw int64) {
+	p.mu.Lock()
+	p.inFlight += raw
+	if p.inFlight > p.maxInFlight {
+		p.maxInFlight = p.inFlight
+	}
+	p.mu.Unlock()
+	p.jobs <- job
+}
+
+// drained marks raw bytes as consumed by the streaming side.
+func (p *EncodePool) drained(raw int64) {
+	p.mu.Lock()
+	p.inFlight -= raw
+	p.mu.Unlock()
+}
+
+// EncodeStats is a snapshot of the encode stage's metrics, exported next to
+// the write-behind pipeline's PipelineStats.
+type EncodeStats struct {
+	// Workers is the pool size (0 = serial in-line encoding).
+	Workers int
+	// Chunks counts chunks encoded by the pool; Failures those that errored.
+	Chunks, Failures int64
+	// RawBytes and StoredBytes measure the pool's input and output volume.
+	RawBytes, StoredBytes int64
+	// Latency summarizes per-chunk encode seconds.
+	Latency stats.Summary
+	// Utilization is Σbusy/(workers×wall) since the pool started.
+	Utilization float64
+	// MaxBytesInFlight is the high-water mark of raw bytes submitted to the
+	// pool but not yet streamed out.
+	MaxBytesInFlight int64
+}
+
+// Stats snapshots the pool's metrics (zero value for a nil pool).
+func (p *EncodePool) Stats() EncodeStats {
+	if p == nil {
+		return EncodeStats{}
+	}
+	wall := time.Since(p.start).Seconds()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return EncodeStats{
+		Workers:          p.workers,
+		Chunks:           p.chunks,
+		Failures:         p.failures,
+		RawBytes:         p.rawBytes,
+		StoredBytes:      p.storedBytes,
+		Latency:          p.latAcc.Summary(),
+		Utilization:      stats.Utilization(p.busy, wall),
+		MaxBytesInFlight: p.maxInFlight,
+	}
+}
+
+// WriteChunks encodes and appends a batch of chunks. With a non-nil pool the
+// encodes run on the pool's workers in parallel while this goroutine streams
+// completed chunks to the file in argument order — the output is
+// byte-identical to a serial WriteChunk loop regardless of worker count.
+// With a nil pool it is that serial loop. Outstanding encoded chunks are
+// bounded to 2× the pool size, so arbitrarily large batches never hold the
+// whole encoded batch in memory.
+func (w *Writer) WriteChunks(metas []ChunkMeta, datas [][]byte, pool *EncodePool) error {
+	if len(metas) != len(datas) {
+		return fmt.Errorf("dsf: WriteChunks: %d metas for %d data buffers", len(metas), len(datas))
+	}
+	// Validate the whole batch before encoding anything: a malformed chunk
+	// fails the call without a partial parallel encode to unwind.
+	for i := range metas {
+		if err := w.validateChunk(metas[i], datas[i]); err != nil {
+			return err
+		}
+	}
+	if pool == nil {
+		for i := range metas {
+			if err := w.WriteChunk(metas[i], datas[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	window := 2 * pool.workers
+	if window > len(metas) {
+		window = len(metas)
+	}
+	results := make([]chan encodeResult, len(metas))
+	for i := range results {
+		results[i] = make(chan encodeResult, 1)
+	}
+	// The window semaphore bounds chunks that are encoding or encoded but
+	// not yet streamed; the submitter parks here when the streamer falls
+	// behind.
+	sem := make(chan struct{}, window)
+	go func() {
+		for i := range metas {
+			sem <- struct{}{}
+			pool.submit(encodeJob{
+				data:     datas[i],
+				codec:    metas[i].Codec,
+				elemSize: metas[i].Layout.Type().Size(),
+				level:    w.level,
+				result:   results[i],
+			}, int64(len(datas[i])))
+		}
+	}()
+
+	// Stream strictly in submission order; after an error keep draining so
+	// every in-flight buffer is recycled and the submitter terminates.
+	var firstErr error
+	for i := range metas {
+		res := <-results[i]
+		pool.drained(int64(len(datas[i])))
+		<-sem
+		switch {
+		case res.err != nil:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dsf: chunk %q: %w", metas[i].Name, res.err)
+			}
+		case firstErr == nil:
+			firstErr = w.appendEncoded(metas[i], int64(len(datas[i])), res.ec)
+		}
+		res.ec.release()
+	}
+	return firstErr
+}

@@ -1,0 +1,115 @@
+package transform
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The encode hot path runs once per chunk per iteration; a fresh gzip.Writer
+// costs hundreds of kilobytes of deflate state per construction, so writers
+// (one pool per compression level) and readers are recycled with Reset. This
+// is the §IV-D story at the allocator level: the dedicated core's spare-time
+// transformations must not fight the garbage collector for the memory
+// bandwidth the simulation needs.
+
+// gzipWriterPools[level-gzip.HuffmanOnly] pools writers for that level.
+var gzipWriterPools [gzip.BestCompression - gzip.HuffmanOnly + 1]sync.Pool
+
+var gzipReaderPool sync.Pool
+
+// ValidGzipLevel reports whether level is a compress/gzip level:
+// gzip.HuffmanOnly (-2) through gzip.BestCompression (9).
+func ValidGzipLevel(level int) bool {
+	return level >= gzip.HuffmanOnly && level <= gzip.BestCompression
+}
+
+// sliceWriter is an allocation-light bytes.Buffer stand-in writing into a
+// caller-provided backing array.
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// pooledGzip couples a writer with its output sink so a steady-state
+// CompressGzipTo call allocates nothing.
+type pooledGzip struct {
+	w  *gzip.Writer
+	sw sliceWriter
+}
+
+// CompressGzipTo is CompressGzip appending into dst's backing array (grown as
+// needed), using a pooled gzip.Writer. It returns the encoded bytes, which
+// alias dst when its capacity sufficed. The level range is the full
+// compress/gzip range, gzip.HuffmanOnly (-2) through 9.
+func CompressGzipTo(dst, b []byte, level int) ([]byte, error) {
+	if !ValidGzipLevel(level) {
+		return nil, fmt.Errorf("transform: gzip: invalid compression level: %d", level)
+	}
+	pool := &gzipWriterPools[level-gzip.HuffmanOnly]
+	pg, _ := pool.Get().(*pooledGzip)
+	if pg == nil {
+		pg = &pooledGzip{}
+		w, err := gzip.NewWriterLevel(io.Discard, level)
+		if err != nil {
+			return nil, fmt.Errorf("transform: gzip: %w", err)
+		}
+		pg.w = w
+	}
+	pg.sw.b = dst[:0]
+	pg.w.Reset(&pg.sw)
+	if _, err := pg.w.Write(b); err != nil {
+		return nil, fmt.Errorf("transform: gzip write: %w", err)
+	}
+	if err := pg.w.Close(); err != nil {
+		return nil, fmt.Errorf("transform: gzip close: %w", err)
+	}
+	out := pg.sw.b
+	pg.sw.b = nil // don't pin the caller's buffer inside the pool
+	pool.Put(pg)
+	return out, nil
+}
+
+// DecompressGzipTo is DecompressGzip decoding into dst's backing array. Pass
+// a dst with the decoded size as capacity (e.g. from a stored RawSize) and
+// the decode performs exactly one read pass with no growth reallocations;
+// with a nil dst it behaves like io.ReadAll. It returns the decoded bytes,
+// aliasing dst when its capacity sufficed.
+func DecompressGzipTo(dst, b []byte) ([]byte, error) {
+	r, _ := gzipReaderPool.Get().(*gzip.Reader)
+	if r == nil {
+		r = new(gzip.Reader)
+	}
+	if err := r.Reset(bytes.NewReader(b)); err != nil {
+		return nil, fmt.Errorf("transform: gunzip: %w", err)
+	}
+	out := dst[:0]
+	for {
+		if len(out) == cap(out) {
+			// Grow via append's amortized doubling, then back off to the
+			// previous length so the new capacity is fillable below.
+			out = append(out, 0)[:len(out)]
+		}
+		n, err := r.Read(out[len(out):cap(out)])
+		out = out[:len(out)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("transform: gunzip read: %w", err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("transform: gunzip close: %w", err)
+	}
+	// Drop the reference to b before pooling — a parked reader must not pin
+	// the caller's compressed buffer (the Reset onto an empty source fails,
+	// which is fine; the next Get resets it onto real input).
+	_ = r.Reset(bytes.NewReader(nil))
+	gzipReaderPool.Put(r)
+	return out, nil
+}

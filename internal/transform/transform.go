@@ -14,45 +14,22 @@ package transform
 
 import (
 	"bytes"
-	"compress/gzip"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 )
 
-// CompressGzip compresses b at the given gzip level (gzip.DefaultCompression
-// when level is 0).
+// CompressGzip compresses b at the given gzip level. The level follows
+// compress/gzip exactly: gzip.HuffmanOnly (-2), gzip.DefaultCompression (-1),
+// gzip.NoCompression (0) and 1..9 are all accepted and mean what the stdlib
+// says they mean. Levels outside that range are an error.
 func CompressGzip(b []byte, level int) ([]byte, error) {
-	if level == 0 {
-		level = gzip.DefaultCompression
-	}
-	var out bytes.Buffer
-	w, err := gzip.NewWriterLevel(&out, level)
-	if err != nil {
-		return nil, fmt.Errorf("transform: gzip: %w", err)
-	}
-	if _, err := w.Write(b); err != nil {
-		return nil, fmt.Errorf("transform: gzip write: %w", err)
-	}
-	if err := w.Close(); err != nil {
-		return nil, fmt.Errorf("transform: gzip close: %w", err)
-	}
-	return out.Bytes(), nil
+	return CompressGzipTo(nil, b, level)
 }
 
 // DecompressGzip reverses CompressGzip.
 func DecompressGzip(b []byte) ([]byte, error) {
-	r, err := gzip.NewReader(bytes.NewReader(b))
-	if err != nil {
-		return nil, fmt.Errorf("transform: gunzip: %w", err)
-	}
-	defer r.Close()
-	out, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("transform: gunzip read: %w", err)
-	}
-	return out, nil
+	return DecompressGzipTo(nil, b)
 }
 
 // Ratio returns the compression ratio in the paper's convention:
@@ -71,17 +48,42 @@ func Ratio(rawSize, compressedSize int) float64 {
 // bytes together and markedly improves gzip ratios. len(b) must be a
 // multiple of elemSize.
 func Shuffle(b []byte, elemSize int) ([]byte, error) {
+	return ShuffleTo(nil, b, elemSize)
+}
+
+// shuffleBlock is the element-count tile of the cache-blocked transpose: the
+// inner loops touch shuffleBlock source bytes per output row while the whole
+// source tile (shuffleBlock × elemSize bytes) stays resident in L1, instead
+// of striding through the entire input once per byte lane.
+const shuffleBlock = 512
+
+// ShuffleTo is Shuffle writing into dst's backing array (grown as needed, à
+// la append), so steady-state callers shuffle without allocating. It returns
+// the result slice, which aliases dst when cap(dst) >= len(b). b and dst
+// must not overlap.
+func ShuffleTo(dst, b []byte, elemSize int) ([]byte, error) {
 	if elemSize <= 0 {
 		return nil, fmt.Errorf("transform: shuffle element size %d", elemSize)
 	}
 	if len(b)%elemSize != 0 {
 		return nil, fmt.Errorf("transform: shuffle: %d bytes not a multiple of element size %d", len(b), elemSize)
 	}
+	out := grow(dst, len(b))
+	if elemSize == 1 {
+		copy(out, b)
+		return out, nil
+	}
 	n := len(b) / elemSize
-	out := make([]byte, len(b))
-	for i := 0; i < n; i++ {
+	for i0 := 0; i0 < n; i0 += shuffleBlock {
+		i1 := i0 + shuffleBlock
+		if i1 > n {
+			i1 = n
+		}
 		for j := 0; j < elemSize; j++ {
-			out[j*n+i] = b[i*elemSize+j]
+			lane := out[j*n : (j+1)*n]
+			for i := i0; i < i1; i++ {
+				lane[i] = b[i*elemSize+j]
+			}
 		}
 	}
 	return out, nil
@@ -89,20 +91,46 @@ func Shuffle(b []byte, elemSize int) ([]byte, error) {
 
 // Unshuffle reverses Shuffle.
 func Unshuffle(b []byte, elemSize int) ([]byte, error) {
+	return UnshuffleTo(nil, b, elemSize)
+}
+
+// UnshuffleTo is Unshuffle writing into dst's backing array (grown as
+// needed). b and dst must not overlap.
+func UnshuffleTo(dst, b []byte, elemSize int) ([]byte, error) {
 	if elemSize <= 0 {
 		return nil, fmt.Errorf("transform: unshuffle element size %d", elemSize)
 	}
 	if len(b)%elemSize != 0 {
 		return nil, fmt.Errorf("transform: unshuffle: %d bytes not a multiple of element size %d", len(b), elemSize)
 	}
+	out := grow(dst, len(b))
+	if elemSize == 1 {
+		copy(out, b)
+		return out, nil
+	}
 	n := len(b) / elemSize
-	out := make([]byte, len(b))
-	for i := 0; i < n; i++ {
+	for i0 := 0; i0 < n; i0 += shuffleBlock {
+		i1 := i0 + shuffleBlock
+		if i1 > n {
+			i1 = n
+		}
 		for j := 0; j < elemSize; j++ {
-			out[i*elemSize+j] = b[j*n+i]
+			lane := b[j*n : (j+1)*n]
+			for i := i0; i < i1; i++ {
+				out[i*elemSize+j] = lane[i]
+			}
 		}
 	}
 	return out, nil
+}
+
+// grow returns a slice of length n using dst's backing array when its
+// capacity suffices, allocating otherwise.
+func grow(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]byte, n)
 }
 
 // reducedMagic guards Reduced16 payloads.

@@ -2,6 +2,7 @@ package transform
 
 import (
 	"bytes"
+	"compress/gzip"
 	"math"
 	"math/rand"
 	"testing"
@@ -12,7 +13,7 @@ import (
 
 func TestGzipRoundTrip(t *testing.T) {
 	data := bytes.Repeat([]byte("damaris "), 1000)
-	comp, err := CompressGzip(data, 0)
+	comp, err := CompressGzip(data, gzip.DefaultCompression)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +47,82 @@ func TestGzipLevels(t *testing.T) {
 	}
 	if _, err := CompressGzip(data, 42); err == nil {
 		t.Error("invalid level should fail")
+	}
+	if _, err := CompressGzip(data, -3); err == nil {
+		t.Error("level below HuffmanOnly should fail")
+	}
+}
+
+// The full stdlib level range is reachable: 0 really means
+// gzip.NoCompression (stored, larger than input) and -2 really means
+// gzip.HuffmanOnly, not silent fallbacks to the default level.
+func TestGzipFullLevelRange(t *testing.T) {
+	data := bytes.Repeat([]byte("damaris "), 1000)
+	for level := gzip.HuffmanOnly; level <= gzip.BestCompression; level++ {
+		comp, err := CompressGzip(data, level)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		got, err := DecompressGzip(comp)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("level %d round trip failed: %v", level, err)
+		}
+		if level == gzip.NoCompression && len(comp) <= len(data) {
+			t.Errorf("NoCompression should store, got %d -> %d bytes", len(data), len(comp))
+		}
+		if level == gzip.BestCompression && len(comp) >= len(data) {
+			t.Errorf("BestCompression did not shrink: %d -> %d bytes", len(data), len(comp))
+		}
+	}
+	huff, _ := CompressGzip(data, gzip.HuffmanOnly)
+	best, _ := CompressGzip(data, gzip.BestCompression)
+	if len(huff) <= len(best) {
+		t.Errorf("HuffmanOnly (%d bytes) should compress worse than BestCompression (%d bytes)",
+			len(huff), len(best))
+	}
+}
+
+func TestCompressGzipToReusesBuffer(t *testing.T) {
+	data := bytes.Repeat([]byte("damaris "), 1000)
+	want, err := CompressGzip(data, gzip.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 0, 2*len(data))
+	got, err := CompressGzipTo(scratch, data, gzip.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("CompressGzipTo output differs from CompressGzip")
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("CompressGzipTo did not reuse the provided buffer")
+	}
+}
+
+func TestDecompressGzipToSizeHint(t *testing.T) {
+	data := bytes.Repeat([]byte("damaris "), 1000)
+	comp, err := CompressGzip(data, gzip.DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact hint: one pass, reuses the buffer.
+	dst := make([]byte, 0, len(data))
+	got, err := DecompressGzipTo(dst, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("hinted decompress mismatch")
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("DecompressGzipTo did not reuse the hinted buffer")
+	}
+	// Wrong (too small) hint still decodes correctly.
+	got, err = DecompressGzipTo(make([]byte, 0, 7), comp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("undersized hint decode failed: %v", err)
 	}
 }
 
@@ -105,11 +182,52 @@ func TestShuffleImprovesFloatCompression(t *testing.T) {
 		xs[i] = 300 + 5*float32(math.Sin(float64(i)/500))
 	}
 	raw := mpi.Float32sToBytes(xs)
-	plain, _ := CompressGzip(raw, 0)
+	plain, _ := CompressGzip(raw, gzip.DefaultCompression)
 	sh, _ := Shuffle(raw, 4)
-	shc, _ := CompressGzip(sh, 0)
+	shc, _ := CompressGzip(sh, gzip.DefaultCompression)
 	if len(shc) >= len(plain) {
 		t.Errorf("shuffle did not help: plain=%d shuffled=%d", len(plain), len(shc))
+	}
+}
+
+// ShuffleTo/UnshuffleTo must agree with Shuffle/Unshuffle exactly (the
+// cache-blocked transpose is an optimization, not a format change) and reuse
+// caller buffers.
+func TestShuffleToMatchesShuffle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, es := range []int{1, 2, 3, 4, 8} {
+		for _, elems := range []int{0, 1, 7, shuffleBlock - 1, shuffleBlock, shuffleBlock + 3, 4 * shuffleBlock} {
+			b := make([]byte, es*elems)
+			rng.Read(b)
+			want, err := Shuffle(b, es)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]byte, 0, len(b))
+			got, err := ShuffleTo(dst, b, es)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("ShuffleTo(es=%d, n=%d) differs from Shuffle", es, elems)
+			}
+			if len(b) > 0 && &got[0] != &dst[:1][0] {
+				t.Errorf("ShuffleTo(es=%d, n=%d) did not reuse dst", es, elems)
+			}
+			back, err := UnshuffleTo(make([]byte, len(b)), got, es)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, b) {
+				t.Fatalf("UnshuffleTo(es=%d, n=%d) round trip mismatch", es, elems)
+			}
+		}
+	}
+	if _, err := ShuffleTo(nil, []byte{1, 2, 3}, 2); err == nil {
+		t.Error("ShuffleTo non-multiple length should fail")
+	}
+	if _, err := UnshuffleTo(nil, []byte{1, 2, 3}, 0); err == nil {
+		t.Error("UnshuffleTo bad element size should fail")
 	}
 }
 
@@ -289,12 +407,12 @@ func TestPaperCompressionRatioShape(t *testing.T) {
 		}
 	}
 	raw := mpi.Float32sToBytes(xs)
-	gz, _ := CompressGzip(raw, 0)
+	gz, _ := CompressGzip(raw, gzip.DefaultCompression)
 	gzRatio := Ratio(len(raw), len(gz))
 
 	red := ReduceFloat32To16(xs)
 	redSh, _ := Shuffle(red[20:], 2) // shuffle the quantized samples
-	redGz, _ := CompressGzip(redSh, 0)
+	redGz, _ := CompressGzip(redSh, gzip.DefaultCompression)
 	redRatio := Ratio(len(raw), len(redGz))
 
 	if gzRatio < 105 {
