@@ -9,6 +9,9 @@
 //	damaris-bench -seed 7          # change the deterministic seed
 //	damaris-bench -persist-bench   # benchmark the DSF persist hot path and
 //	                               # emit BENCH_persist.json (MB/s, allocs/op)
+//	damaris-bench -store-bench     # benchmark the storage backends and emit
+//	                               # BENCH_store.json (allocs + determinism,
+//	                               # dedupe and byte-identity checks)
 package main
 
 import (
@@ -27,7 +30,10 @@ func main() {
 		list         = flag.Bool("list", false, "list experiment IDs and exit")
 		persistBench = flag.Bool("persist-bench", false,
 			"benchmark the DSF persist path across encode worker counts and emit a JSON report")
-		benchOut = flag.String("bench-out", "BENCH_persist.json", "output path for -persist-bench")
+		benchOut   = flag.String("bench-out", "BENCH_persist.json", "output path for -persist-bench")
+		storeBench = flag.Bool("store-bench", false,
+			"benchmark the storage backends (file + content-addressed object store) and emit a JSON report with determinism checks")
+		storeOut = flag.String("store-out", "BENCH_store.json", "output path for -store-bench")
 	)
 	flag.Parse()
 
@@ -38,6 +44,14 @@ func main() {
 
 	if *persistBench {
 		if err := runPersistBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *storeBench {
+		if err := runStoreBench(*storeOut); err != nil {
 			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
 			os.Exit(1)
 		}

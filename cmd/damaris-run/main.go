@@ -8,6 +8,7 @@
 //	damaris-run -ranks 12 -cores-per-node 4 -steps 20 -output-every 5 -out /tmp/out
 //	damaris-run -backend fpp ...
 //	damaris-run -backend collective ...
+//	damaris-run -persist-backend obj:///tmp/objects -store-part-size 1048576
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"damaris/internal/dsf"
 	"damaris/internal/mpi"
 	"damaris/internal/stats"
+	"damaris/internal/store"
 	"damaris/internal/transform"
 )
 
@@ -44,12 +46,18 @@ func main() {
 			"parallel chunk-encode workers per dedicated core (0 = serial encoding)")
 		gzipLevel = flag.Int("gzip-level", config.DefaultPersistGzipLevel,
 			"gzip level for compressed chunks, full compress/gzip range -2 (HuffmanOnly) to 9")
+		persistBackend = flag.String("persist-backend", "",
+			"storage backend URL for the damaris persistency layer (file://dir | obj://dir; empty = DSF files in -out)")
+		storePartSize = flag.Int64("store-part-size", 0,
+			"object-store multipart split in bytes (0 = backend default)")
+		storePutWorkers = flag.Int("store-put-workers", 0,
+			"bounded parallel part-upload pool size (0 = backend default)")
 	)
 	flag.Parse()
 
 	if err := run(*ranks, *coresPerNode, *steps, *outputEvery, *outDir,
 		*backend, *compress, *bufMB, *allocator, *persistWork, *persistQueue,
-		*encodeWork, *gzipLevel); err != nil {
+		*encodeWork, *gzipLevel, *persistBackend, *storePartSize, *storePutWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "damaris-run:", err)
 		os.Exit(1)
 	}
@@ -57,7 +65,8 @@ func main() {
 
 func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	compress bool, bufMB int64, allocator string, persistWork, persistQueue,
-	encodeWork, gzipLevel int) error {
+	encodeWork, gzipLevel int, persistBackend string, storePartSize int64,
+	storePutWorkers int) error {
 	if ranks%coresPerNode != 0 {
 		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
 	}
@@ -81,6 +90,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	var pipeStats []core.PipelineStats
 
 	var cfg *config.Config
+	var sharedStore store.Backend
 	if backend == "damaris" {
 		var err error
 		cfg, err = config.ParseString(cm1.ConfigXML(params, bufMB<<20, allocator, 1))
@@ -98,6 +108,25 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		cfg.PersistQueueDepth = persistQueue
 		cfg.EncodeWorkers = encodeWork
 		cfg.PersistGzipLevel = gzipLevel
+		cfg.PersistBackend = persistBackend
+		cfg.StorePartSize = storePartSize
+		cfg.StorePutWorkers = storePutWorkers
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		if persistBackend != "" {
+			// One backend instance shared by every dedicated core, so the
+			// run's store metrics (and the object store's dedupe) span the
+			// whole node set — mirroring a real shared storage service.
+			sharedStore, err = store.OpenWith(persistBackend, store.Options{
+				PartSize:   storePartSize,
+				PutWorkers: storePutWorkers,
+			})
+			if err != nil {
+				return err
+			}
+			defer sharedStore.Close()
+		}
 	}
 
 	err := mpi.Run(ranks, coresPerNode, func(comm *mpi.Comm) {
@@ -106,8 +135,8 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 
 		switch backend {
 		case "damaris":
-			pers := &core.DSFPersister{Dir: outDir, Codec: codec, GzipLevel: gzipLevel,
-				Node: comm.Node(), ServerID: comm.Rank()}
+			pers := &core.DSFPersister{Dir: outDir, Backend: sharedStore, Codec: codec,
+				GzipLevel: gzipLevel, Node: comm.Node(), ServerID: comm.Rank()}
 			dep, err := core.Deploy(comm, cfg, nil, core.Options{OutputDir: outDir, Persister: pers})
 			if err != nil {
 				panic(err)
@@ -170,8 +199,13 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		fmt.Printf("dedicated cores: %d flushes, write mean=%.2gs; spare total=%.2gs; %d bytes persisted\n",
 			ws.N, ws.Mean, stats.Mean(serverSpare), bytesWritten)
 		reportPipeline(pipeStats)
+		reportStore(pipeStats, sharedStore)
 	}
-	fmt.Printf("output in %s\n", outDir)
+	if sharedStore != nil {
+		fmt.Printf("output in backend %s\n", persistBackend)
+	} else {
+		fmt.Printf("output in %s\n", outDir)
+	}
 	return nil
 }
 
@@ -209,6 +243,55 @@ func reportPipeline(ps []core.PipelineStats) {
 	fmt.Printf("pipeline: writer utilization mean=%.1f%%; batch size mean=%.2f\n",
 		100*stats.Mean(utils), stats.Mean(batchMeans))
 	reportEncode(ps)
+}
+
+// reportStore prints the storage-backend metrics. With a shared backend one
+// snapshot covers the whole run; otherwise the per-core backends (each
+// server's PipelineStats.Store) are aggregated. Silent when nothing was
+// stored.
+func reportStore(ps []core.PipelineStats, shared store.Backend) {
+	var agg []store.Stats
+	if shared != nil {
+		agg = []store.Stats{shared.Stats()}
+	} else {
+		for _, s := range ps {
+			if s.Store.Scheme != "" {
+				agg = append(agg, s.Store)
+			}
+		}
+	}
+	var puts, putBytes, dedupe, dedupeBytes, retries, failures, commits, maxFlight int64
+	var putLatMeans []float64
+	scheme := ""
+	for _, s := range agg {
+		scheme = s.Scheme
+		puts += s.Puts
+		putBytes += s.PutBytes
+		dedupe += s.DedupeHits
+		dedupeBytes += s.DedupeBytes
+		retries += s.Retries
+		failures += s.Failures
+		commits += s.Commits
+		if s.MaxPartsInFlight > maxFlight {
+			maxFlight = s.MaxPartsInFlight
+		}
+		if s.PutLatency.N > 0 {
+			putLatMeans = append(putLatMeans, s.PutLatency.Mean)
+		}
+	}
+	if puts == 0 && commits == 0 {
+		return
+	}
+	fmt.Printf("store[%s]: %d puts (%d bytes), %d commits; put latency mean=%.2gs\n",
+		scheme, puts, putBytes, commits, stats.Mean(putLatMeans))
+	if dedupe > 0 || maxFlight > 0 || retries > 0 || failures > 0 {
+		rate := 0.0
+		if puts+dedupe > 0 {
+			rate = float64(dedupe) / float64(puts+dedupe)
+		}
+		fmt.Printf("store[%s]: dedupe %d hits (%d bytes, %.0f%% of part uploads); %d retries, %d failures; max %d parts in flight\n",
+			scheme, dedupe, dedupeBytes, 100*rate, retries, failures, maxFlight)
+	}
 }
 
 // reportEncode prints the encode-stage metrics, aggregated over all

@@ -43,6 +43,23 @@
 //	  - gzip_level (PersistGzipLevel) is the compress/gzip level for
 //	    compressed chunks, the full stdlib range: -2 (HuffmanOnly), -1
 //	    (default), 0 (store) through 9 (best).
+//
+// # Storage backend
+//
+// Where the pipeline's DSF streams land is selected by an optional <store>
+// element naming a backend URL from the internal/store registry:
+//
+//	<store backend="obj:///data/objects" part_size="4194304" put_workers="4"/>
+//
+//	  - backend (PersistBackend) is the backend URL: "file://dir" keeps
+//	    today's DSF-directory layout; "obj://dir" writes through the
+//	    content-addressed object store. Empty selects the file layout over
+//	    the deployment's output directory. Unknown schemes are rejected at
+//	    load time.
+//	  - part_size (StorePartSize) is the object store's multipart split in
+//	    bytes (0 = backend default).
+//	  - put_workers (StorePutWorkers) bounds the parallel part-upload pool
+//	    (0 = backend default).
 package config
 
 import (
@@ -55,6 +72,7 @@ import (
 	"strings"
 
 	"damaris/internal/layout"
+	"damaris/internal/store"
 )
 
 // Config is the parsed, validated configuration.
@@ -82,6 +100,16 @@ type Config struct {
 	// PersistGzipLevel is the compress/gzip level for compressed chunks,
 	// accepting the full stdlib range gzip.HuffmanOnly (-2) through 9.
 	PersistGzipLevel int
+	// PersistBackend is the storage-backend URL DSF streams are persisted
+	// through ("file://…", "obj://…"); empty keeps the file layout over the
+	// deployment's output directory.
+	PersistBackend string
+	// StorePartSize is the object store's multipart split size in bytes
+	// (0 = backend default).
+	StorePartSize int64
+	// StorePutWorkers bounds the object store's parallel part-upload pool
+	// (0 = backend default).
+	StorePutWorkers int
 	// Layouts maps layout names to normalized (C-order) layouts.
 	Layouts map[string]layout.Layout
 	// Variables maps variable names to their declarations.
@@ -112,6 +140,7 @@ type xmlFile struct {
 	XMLName  xml.Name      `xml:"simulation"`
 	Buffer   xmlBuffer     `xml:"buffer"`
 	Pipeline *xmlPipeline  `xml:"pipeline"`
+	Store    *xmlStore     `xml:"store"`
 	Layouts  []xmlLayout   `xml:"layout"`
 	Vars     []xmlVariable `xml:"variable"`
 	Events   []xmlEvent    `xml:"event"`
@@ -132,6 +161,14 @@ type xmlPipeline struct {
 	Queue         string `xml:"queue,attr"`
 	EncodeWorkers string `xml:"encode_workers,attr"`
 	GzipLevel     string `xml:"gzip_level,attr"`
+}
+
+// xmlStore selects the storage backend; attributes are strings so absent
+// (default) is distinguishable from an explicit "0".
+type xmlStore struct {
+	Backend    string `xml:"backend,attr"`
+	PartSize   string `xml:"part_size,attr"`
+	PutWorkers string `xml:"put_workers,attr"`
 }
 
 type xmlLayout struct {
@@ -201,27 +238,18 @@ func build(f *xmlFile) (*Config, error) {
 	if c.BufferSize == 0 {
 		c.BufferSize = DefaultBufferSize
 	}
-	if c.BufferSize < 0 {
-		return nil, fmt.Errorf("config: negative buffer size %d", c.BufferSize)
-	}
-	switch c.Allocator {
-	case "":
+	if c.Allocator == "" {
 		c.Allocator = DefaultAllocator
-	case "mutex", "lockfree":
-	default:
-		return nil, fmt.Errorf("config: unknown allocator %q (want mutex or lockfree)", c.Allocator)
 	}
 	if c.DedicatedCores == 0 {
 		c.DedicatedCores = DefaultDedicatedCores
-	}
-	if c.DedicatedCores < 0 {
-		return nil, fmt.Errorf("config: negative dedicated core count %d", c.DedicatedCores)
 	}
 
 	// Pipeline knobs: absent element means defaults; a present element may
 	// explicitly set workers="0" to request the synchronous baseline (and
 	// likewise encode_workers="0" for serial encoding, gzip_level="0" for
-	// stored gzip streams).
+	// stored gzip streams). Range validation happens in Validate below, so
+	// programmatically built configs are held to the same rules.
 	c.PersistWorkers = DefaultPersistWorkers
 	c.PersistQueueDepth = DefaultPersistQueueDepth
 	c.EncodeWorkers = DefaultEncodeWorkers
@@ -231,9 +259,6 @@ func build(f *xmlFile) (*Config, error) {
 			w, err := strconv.Atoi(f.Pipeline.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("config: persist worker count %q: %w", f.Pipeline.Workers, err)
-			}
-			if w < 0 {
-				return nil, fmt.Errorf("config: negative persist worker count %d", w)
 			}
 			c.PersistWorkers = w
 		}
@@ -252,9 +277,6 @@ func build(f *xmlFile) (*Config, error) {
 			if err != nil {
 				return nil, fmt.Errorf("config: encode worker count %q: %w", f.Pipeline.EncodeWorkers, err)
 			}
-			if e < 0 {
-				return nil, fmt.Errorf("config: negative encode worker count %d", e)
-			}
 			c.EncodeWorkers = e
 		}
 		if f.Pipeline.GzipLevel != "" {
@@ -262,12 +284,30 @@ func build(f *xmlFile) (*Config, error) {
 			if err != nil {
 				return nil, fmt.Errorf("config: gzip level %q: %w", f.Pipeline.GzipLevel, err)
 			}
-			if l < gzip.HuffmanOnly || l > gzip.BestCompression {
-				return nil, fmt.Errorf("config: gzip level %d outside compress/gzip range [%d,%d]",
-					l, gzip.HuffmanOnly, gzip.BestCompression)
-			}
 			c.PersistGzipLevel = l
 		}
+	}
+
+	// Storage backend selection.
+	if f.Store != nil {
+		c.PersistBackend = f.Store.Backend
+		if f.Store.PartSize != "" {
+			n, err := strconv.ParseInt(f.Store.PartSize, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("config: store part size %q: %w", f.Store.PartSize, err)
+			}
+			c.StorePartSize = n
+		}
+		if f.Store.PutWorkers != "" {
+			n, err := strconv.Atoi(f.Store.PutWorkers)
+			if err != nil {
+				return nil, fmt.Errorf("config: store put worker count %q: %w", f.Store.PutWorkers, err)
+			}
+			c.StorePutWorkers = n
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 
 	for _, xl := range f.Layouts {
@@ -339,6 +379,53 @@ func build(f *xmlFile) (*Config, error) {
 		c.Events[xe.Name] = Event{Name: xe.Name, Action: xe.Action, Using: xe.Using, Scope: scope}
 	}
 	return c, nil
+}
+
+// Validate checks every runtime knob's range, whether the Config came from
+// XML or was built (or mutated) programmatically. core.Deploy calls it, so
+// a negative worker count or an unknown backend scheme fails deployment
+// loudly instead of silently selecting a default behavior.
+func (c *Config) Validate() error {
+	if c.BufferSize < 0 {
+		return fmt.Errorf("config: negative buffer size %d", c.BufferSize)
+	}
+	switch c.Allocator {
+	case "", "mutex", "lockfree":
+	default:
+		return fmt.Errorf("config: unknown allocator %q (want mutex or lockfree)", c.Allocator)
+	}
+	if c.DedicatedCores < 0 {
+		return fmt.Errorf("config: negative dedicated core count %d", c.DedicatedCores)
+	}
+	if c.PersistWorkers < 0 {
+		return fmt.Errorf("config: negative persist worker count %d", c.PersistWorkers)
+	}
+	if c.PersistQueueDepth < 0 {
+		return fmt.Errorf("config: negative persist queue depth %d", c.PersistQueueDepth)
+	}
+	if c.PersistWorkers > 0 && c.PersistQueueDepth < 1 {
+		return fmt.Errorf("config: persist queue depth must be at least 1 when the pipeline is asynchronous, got %d",
+			c.PersistQueueDepth)
+	}
+	if c.EncodeWorkers < 0 {
+		return fmt.Errorf("config: negative encode worker count %d", c.EncodeWorkers)
+	}
+	if c.PersistGzipLevel < gzip.HuffmanOnly || c.PersistGzipLevel > gzip.BestCompression {
+		return fmt.Errorf("config: gzip level %d outside compress/gzip range [%d,%d]",
+			c.PersistGzipLevel, gzip.HuffmanOnly, gzip.BestCompression)
+	}
+	if c.PersistBackend != "" {
+		if err := store.ValidateURL(c.PersistBackend); err != nil {
+			return fmt.Errorf("config: persist backend: %w", err)
+		}
+	}
+	if c.StorePartSize < 0 {
+		return fmt.Errorf("config: negative store part size %d", c.StorePartSize)
+	}
+	if c.StorePutWorkers < 0 {
+		return fmt.Errorf("config: negative store put worker count %d", c.StorePutWorkers)
+	}
+	return nil
 }
 
 // Variable returns the declaration of a named variable.

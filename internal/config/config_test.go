@@ -295,3 +295,87 @@ func TestPipelineGzipLevelFullRange(t *testing.T) {
 		t.Error("non-numeric encode_workers should fail")
 	}
 }
+
+func TestStoreElement(t *testing.T) {
+	c, err := ParseString(`<simulation><store backend="obj:///data/objects" part_size="1048576" put_workers="8"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PersistBackend != "obj:///data/objects" || c.StorePartSize != 1<<20 || c.StorePutWorkers != 8 {
+		t.Errorf("store = %q part=%d workers=%d", c.PersistBackend, c.StorePartSize, c.StorePutWorkers)
+	}
+	// Absent element keeps the zero values (file layout over the output
+	// directory, backend defaults for the knobs).
+	c, err = ParseString(`<simulation/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PersistBackend != "" || c.StorePartSize != 0 || c.StorePutWorkers != 0 {
+		t.Errorf("defaults = %q part=%d workers=%d", c.PersistBackend, c.StorePartSize, c.StorePutWorkers)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	cases := map[string]string{
+		"unknown scheme":       `<simulation><store backend="hdf5://nowhere"/></simulation>`,
+		"not a URL":            `<simulation><store backend="just-a-dir"/></simulation>`,
+		"bad query param":      `<simulation><store backend="obj://d?bogus=1"/></simulation>`,
+		"negative part size":   `<simulation><store backend="obj://d" part_size="-4"/></simulation>`,
+		"negative put workers": `<simulation><store backend="obj://d" put_workers="-1"/></simulation>`,
+		"non-numeric part":     `<simulation><store part_size="big"/></simulation>`,
+	}
+	for name, xml := range cases {
+		if _, err := ParseString(xml); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}
+
+// Validate must hold programmatically built or mutated configs to the same
+// rules the XML path enforces — the knobs that used to silently select a
+// default behavior now fail loudly.
+func TestValidateProgrammaticConfig(t *testing.T) {
+	base := func() *Config {
+		c, err := ParseString(`<simulation/>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*Config){
+		"negative persist workers": func(c *Config) { c.PersistWorkers = -1 },
+		"negative queue depth":     func(c *Config) { c.PersistQueueDepth = -2 },
+		"zero queue with pipeline": func(c *Config) { c.PersistWorkers = 2; c.PersistQueueDepth = 0 },
+		"negative encode workers":  func(c *Config) { c.EncodeWorkers = -3 },
+		"gzip level out of range":  func(c *Config) { c.PersistGzipLevel = 11 },
+		"unknown backend scheme":   func(c *Config) { c.PersistBackend = "s3://bucket" },
+		"negative store part size": func(c *Config) { c.StorePartSize = -1 },
+		"negative put workers":     func(c *Config) { c.StorePutWorkers = -1 },
+		"unknown allocator":        func(c *Config) { c.Allocator = "spinlock" },
+		"negative buffer":          func(c *Config) { c.BufferSize = -5 },
+	} {
+		c := base()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s should fail Validate", name)
+		}
+	}
+
+	// The synchronous baseline tolerates a zero queue depth (the window is
+	// pinned to 1 there), and known backends pass.
+	c := base()
+	c.PersistWorkers = 0
+	c.PersistQueueDepth = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("sync baseline with zero queue: %v", err)
+	}
+	c = base()
+	c.PersistBackend = "file:///somewhere"
+	if err := c.Validate(); err != nil {
+		t.Errorf("file backend: %v", err)
+	}
+}

@@ -156,6 +156,12 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 	if cfg == nil {
 		return nil, fmt.Errorf("core: nil configuration")
 	}
+	// Hold programmatically built (or mutated) configurations to the same
+	// rules as parsed ones: a negative worker count or an unknown backend
+	// scheme must fail deployment, not silently select another behavior.
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if reg == nil {
 		reg = plugin.NewRegistry()
 	}
@@ -210,7 +216,11 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 		if err != nil {
 			return nil, fmt.Errorf("core: server %d: %w", g, err)
 		}
-		srv := newServer(cfg, eng, queue, seg, fc, world.WorldRank(), node.Node(), g, opts)
+		srv, err := newServer(cfg, eng, queue, seg, fc, world.WorldRank(), node.Node(), g, opts)
+		if err != nil {
+			seg.Close()
+			return nil, err
+		}
 		dep.Server = srv
 		return dep, nil
 	}

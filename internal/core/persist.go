@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 
@@ -10,6 +9,7 @@ import (
 	"damaris/internal/metadata"
 	"damaris/internal/mpi"
 	"damaris/internal/plugin"
+	"damaris/internal/store"
 	"damaris/internal/transform"
 )
 
@@ -31,12 +31,26 @@ type BatchPersister interface {
 	PersistBatch(batch []IterationBatch) error
 }
 
-// DSFPersister writes each completed iteration as one DSF file per
+// StoreStatser is implemented by persisters that can report their storage
+// backend's metrics; Server.PipelineStats probes for it.
+type StoreStatser interface {
+	StoreStats() store.Stats
+}
+
+// DSFPersister writes each completed iteration as one DSF object per
 // dedicated core — the paper's "gathering data into large files" that cuts
-// metadata pressure from one-file-per-process to one-file-per-node.
+// metadata pressure from one-file-per-process to one-file-per-node. The
+// destination is a store.Backend: the classic DSF directory is simply the
+// "file" backend, and the same persister streams into the content-addressed
+// object store (or any registered backend) unchanged.
 type DSFPersister struct {
-	// Dir is the output directory (created on demand).
+	// Dir is the output directory, used only when Backend is nil: the
+	// persister then opens a "file" backend over it (created on demand) —
+	// the pre-subsystem behavior, byte-identical on disk.
 	Dir string
+	// Backend, when non-nil, receives every DSF stream. The caller owns its
+	// lifecycle (a backend may be shared across persisters and servers).
+	Backend store.Backend
 	// Codec encodes every chunk (None by default; ShuffleGzip gives the
 	// paper's overhead-free compression, since it runs on the dedicated
 	// core's spare time).
@@ -52,9 +66,10 @@ type DSFPersister struct {
 	Node     int
 	ServerID int
 
-	mu    sync.Mutex
-	pool  *dsf.EncodePool
-	files []string
+	mu      sync.Mutex
+	backend store.Backend // resolved from Backend or Dir on first use
+	pool    *dsf.EncodePool
+	files   []string
 }
 
 // SetEncodePool attaches the encode worker pool chunks are compressed on;
@@ -87,6 +102,17 @@ func (p *DSFPersister) Persist(iteration int64, entries []*metadata.Entry) error
 	return p.writeFile(name, entries)
 }
 
+// PersistAs writes entries into one DSF object under a caller-chosen name
+// instead of the node/server/iteration scheme — the exact writeFile path,
+// for tools and benchmarks that must produce streams byte-identical to the
+// persister's under a different object name.
+func (p *DSFPersister) PersistAs(name string, entries []*metadata.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	return p.writeFile(name, entries)
+}
+
 // PersistBatch writes the entries of several iterations into a single DSF
 // file, named after the batch's iteration span. One file per batch instead
 // of one per iteration cuts the fixed per-file cost (create, header, TOC,
@@ -114,21 +140,61 @@ func (p *DSFPersister) PersistBatch(batch []IterationBatch) error {
 	return p.writeFile(name, entries)
 }
 
-func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry) error {
+// resolveBackend returns the backend DSF streams go to, opening the legacy
+// "file" backend over Dir on first use when none was provided.
+func (p *DSFPersister) resolveBackend() (store.Backend, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.backend != nil {
+		return p.backend, p.Backend == nil, nil
+	}
+	if p.Backend != nil {
+		p.backend = p.Backend
+		return p.backend, false, nil
+	}
 	dir := p.Dir
 	if dir == "" {
 		dir = "."
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("persist: %w", err)
+	fs, err := store.NewFileStore(dir, store.Options{})
+	if err != nil {
+		return nil, false, fmt.Errorf("persist: %w", err)
 	}
-	path := filepath.Join(dir, name)
-	w, err := dsf.Create(path)
+	p.backend = fs
+	return p.backend, true, nil
+}
+
+// StoreStats snapshots the backend's metrics (zero before the first write
+// when the persister opens its own file backend lazily).
+func (p *DSFPersister) StoreStats() store.Stats {
+	p.mu.Lock()
+	b := p.backend
+	if b == nil {
+		b = p.Backend
+	}
+	p.mu.Unlock()
+	if b == nil {
+		return store.Stats{}
+	}
+	return b.Stats()
+}
+
+func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry) error {
+	b, implicitFile, err := p.resolveBackend()
 	if err != nil {
 		return err
 	}
+	ow, err := b.Create(name)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	w, err := dsf.NewWriter(ow)
+	if err != nil {
+		ow.Abort()
+		return err
+	}
 	if err := w.SetGzipLevel(p.GzipLevel); err != nil {
-		w.Close()
+		ow.Abort()
 		return err
 	}
 	w.SetAttribute("writer", "damaris-dedicated-core")
@@ -147,19 +213,33 @@ func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry) error {
 		datas[i] = e.Bytes()
 	}
 	if err := w.WriteChunks(metas, datas, p.EncodePool()); err != nil {
-		w.Close()
+		ow.Abort()
 		return err
 	}
 	if err := w.Close(); err != nil {
+		ow.Abort()
 		return err
 	}
+	// The stream is complete; only the commit makes it visible. A crash (or
+	// injected failure) before this point leaves no torn object behind.
+	if _, err := ow.Commit(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	recorded := name
+	if implicitFile {
+		// Legacy callers hold Dir-relative paths they dsf.Open directly.
+		recorded = filepath.Join(p.Dir, name)
+	}
 	p.mu.Lock()
-	p.files = append(p.files, path)
+	p.files = append(p.files, recorded)
 	p.mu.Unlock()
 	return nil
 }
 
-// Files lists the DSF files written so far.
+// Files lists the DSF objects written so far: filesystem paths when the
+// persister manages its own file backend over Dir, backend object names
+// when an explicit Backend was provided. The returned slice is a copy —
+// callers may read it while writer goroutines keep appending.
 func (p *DSFPersister) Files() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()

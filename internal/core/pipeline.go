@@ -7,6 +7,7 @@ import (
 	"damaris/internal/dsf"
 	"damaris/internal/metadata"
 	"damaris/internal/stats"
+	"damaris/internal/store"
 )
 
 // pipeline is the dedicated core's asynchronous write-behind persistence
@@ -289,6 +290,10 @@ type PipelineStats struct {
 	// encode_workers is 0 or the persister does not support pooled
 	// encoding). Filled by Server.PipelineStats, not by the pipeline itself.
 	Encode dsf.EncodeStats
+	// Store snapshots the storage backend the persister writes through
+	// (zero when the persister exposes none). Filled by
+	// Server.PipelineStats, not by the pipeline itself.
+	Store store.Stats
 }
 
 // snapshot captures the pipeline metrics at a point in time.

@@ -11,6 +11,7 @@ import (
 	"damaris/internal/event"
 	"damaris/internal/metadata"
 	"damaris/internal/stats"
+	"damaris/internal/store"
 )
 
 // Scheduler delays a server's persistence to its assigned slot, the paper's
@@ -43,6 +44,7 @@ type Server struct {
 	scheduler Scheduler
 	pipe      *pipeline       // nil in the synchronous baseline
 	encPool   *dsf.EncodePool // nil when encode_workers is 0
+	ownStore  store.Backend   // backend this server opened (and must close)
 
 	closeOnce sync.Once
 
@@ -67,7 +69,7 @@ type segmentCloser interface {
 }
 
 func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmentCloser,
-	fc *flow, worldRank, node, group int, opts Options) *Server {
+	fc *flow, worldRank, node, group int, opts Options) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		eng:       eng,
@@ -92,6 +94,21 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		// DSFPersister.SetEncodePool).
 		p := &DSFPersister{Dir: opts.OutputDir, Node: node, ServerID: worldRank,
 			GzipLevel: cfg.PersistGzipLevel}
+		if cfg.PersistBackend != "" {
+			// The config names a storage backend; this server owns the
+			// instance it opens (siblings on other dedicated cores open
+			// their own over the same target, which is how object-store
+			// deployments work — dedupe composes across instances).
+			b, err := store.OpenWith(cfg.PersistBackend, store.Options{
+				PartSize:   cfg.StorePartSize,
+				PutWorkers: cfg.StorePutWorkers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: server %d: persist backend: %w", worldRank, err)
+			}
+			p.Backend = b
+			s.ownStore = b
+		}
 		if cfg.EncodeWorkers > 0 {
 			s.encPool = dsf.NewEncodePool(cfg.EncodeWorkers)
 			p.SetEncodePool(s.encPool)
@@ -107,7 +124,7 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		s.queue.Close()
 		return nil
 	}
-	return s
+	return s, nil
 }
 
 // ID returns the server's world rank.
@@ -192,6 +209,17 @@ func (s *Server) Close() error {
 		// Encode workers stop only after every persist writer drained: a
 		// writer mid-WriteChunks still needs them.
 		s.encPool.Close()
+		// Likewise the storage backend: every committed object is durable
+		// by now, so tearing it down cannot lose data.
+		if s.ownStore != nil {
+			if err := s.ownStore.Close(); err != nil {
+				s.mu.Lock()
+				if s.flushErr == nil {
+					s.flushErr = flushError{fmt.Errorf("core: server %d: close backend: %w", s.id, err)}
+				}
+				s.mu.Unlock()
+			}
+		}
 		s.seg.Close()
 		if s.fc != nil {
 			s.fc.close()
@@ -368,6 +396,11 @@ func (s *Server) PipelineStats() PipelineStats {
 		}
 	}
 	ps.Encode = pool.Stats()
+	// Storage-backend metrics, when the persister exposes them (the DSF
+	// persister always does once it has written).
+	if ss, ok := s.persister.(StoreStatser); ok {
+		ps.Store = ss.StoreStats()
+	}
 	return ps
 }
 

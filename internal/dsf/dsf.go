@@ -125,11 +125,14 @@ const DefaultGzipLevel = gzip.DefaultCompression
 // instead of one syscall per tiny piece.
 const writeBufferSize = 256 << 10
 
-// Writer streams chunks into a DSF file. It is not safe for concurrent use;
-// parallelism belongs in the encode stage (WriteChunks with an EncodePool),
-// never in the byte stream.
+// Writer streams chunks into a DSF byte stream. It is not safe for
+// concurrent use; parallelism belongs in the encode stage (WriteChunks with
+// an EncodePool), never in the byte stream. The sink can be a file (Create)
+// or any io.Writer (NewWriter) — notably a storage backend's ObjectWriter,
+// which is how DSF streams reach object stores.
 type Writer struct {
-	f      *os.File
+	out    io.Writer // underlying sink, behind bw
+	closer io.Closer // closed by Close when the Writer owns the sink (Create)
 	bw     *bufio.Writer
 	offset int64
 	recs   []tocRecord
@@ -138,24 +141,44 @@ type Writer struct {
 	closed bool
 }
 
-// Create opens path for writing and emits the header.
-func Create(path string) (*Writer, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("dsf: %w", err)
-	}
+// NewWriter starts a DSF stream on an arbitrary sink and emits the header.
+// Close finishes the stream (TOC + footer) but does not close the sink —
+// the caller owns its lifecycle (e.g. committing a store.ObjectWriter).
+func NewWriter(out io.Writer) (*Writer, error) {
 	w := &Writer{
-		f:      f,
-		bw:     bufio.NewWriterSize(f, writeBufferSize),
+		out:    out,
+		bw:     bufio.NewWriterSize(out, writeBufferSize),
 		offset: int64(len(headMagic)),
 		attrs:  make(map[string]string),
 		level:  DefaultGzipLevel,
 	}
 	if _, err := w.bw.Write(headMagic); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("dsf: header: %w", err)
 	}
 	return w, nil
+}
+
+// Create opens path for writing and emits the header. Close closes the
+// file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("dsf: %w", err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.closer = f
+	return w, nil
+}
+
+// abort closes an owned sink on the error path (no-op for NewWriter sinks).
+func (w *Writer) abort() {
+	if w.closer != nil {
+		w.closer.Close()
+	}
 }
 
 // SetGzipLevel selects the compression level for subsequently written
@@ -240,9 +263,9 @@ func (w *Writer) appendEncoded(meta ChunkMeta, rawSize int64, ec encodedChunk) e
 // header and TOC) — the figure throughput is computed from.
 func (w *Writer) StoredBytes() int64 { return w.offset - int64(len(headMagic)) }
 
-// Close writes the table of contents and footer and closes the file. The
-// TOC, footer and any still-buffered chunk bytes leave in one coalesced
-// flush rather than a syscall per piece.
+// Close writes the table of contents and footer and, when the Writer owns
+// its sink (Create), closes it. The TOC, footer and any still-buffered
+// chunk bytes leave in one coalesced flush rather than a syscall per piece.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -255,11 +278,11 @@ func (w *Writer) Close() error {
 	sort.Slice(t.Attrs, func(i, j int) bool { return t.Attrs[i].Key < t.Attrs[j].Key })
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&t); err != nil {
-		w.f.Close()
+		w.abort()
 		return fmt.Errorf("dsf: toc encode: %w", err)
 	}
 	if _, err := w.bw.Write(buf.Bytes()); err != nil {
-		w.f.Close()
+		w.abort()
 		return fmt.Errorf("dsf: toc write: %w", err)
 	}
 	var foot [24]byte
@@ -267,14 +290,17 @@ func (w *Writer) Close() error {
 	binary.LittleEndian.PutUint64(foot[8:], uint64(buf.Len()))
 	copy(foot[16:], tailMagic)
 	if _, err := w.bw.Write(foot[:]); err != nil {
-		w.f.Close()
+		w.abort()
 		return fmt.Errorf("dsf: footer: %w", err)
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
+		w.abort()
 		return fmt.Errorf("dsf: flush: %w", err)
 	}
-	return w.f.Close()
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
 }
 
 // decode reverses encodeChunk. rawSize (from the TOC) sizes the
@@ -306,12 +332,15 @@ func decode(stored []byte, c Codec, elemSize int, rawSize int64) ([]byte, error)
 	}
 }
 
-// Reader reads a DSF file.
+// Reader reads a DSF stream from any random-access source — a file (Open),
+// an in-memory buffer, or a storage backend's ObjectReader (OpenReaderAt).
 type Reader struct {
-	f     *os.File
-	recs  []tocRecord
-	attrs map[string]string
-	metas []ChunkMeta
+	ra     io.ReaderAt
+	size   int64
+	closer io.Closer // closed by Close when the Reader owns the source (Open)
+	recs   []tocRecord
+	attrs  map[string]string
+	metas  []ChunkMeta
 }
 
 // Open reads and validates the file's header, footer and table of contents.
@@ -320,9 +349,26 @@ func Open(path string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dsf: %w", err)
 	}
-	r := &Reader{f: f}
-	if err := r.load(); err != nil {
+	st, err := f.Stat()
+	if err != nil {
 		f.Close()
+		return nil, fmt.Errorf("dsf: stat: %w", err)
+	}
+	r, err := OpenReaderAt(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// OpenReaderAt validates a DSF stream of the given size on any
+// random-access source. Close does not close the source; the caller owns
+// its lifecycle.
+func OpenReaderAt(ra io.ReaderAt, size int64) (*Reader, error) {
+	r := &Reader{ra: ra, size: size}
+	if err := r.load(); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -330,21 +376,20 @@ func Open(path string) (*Reader, error) {
 
 func (r *Reader) load() error {
 	head := make([]byte, len(headMagic))
-	if _, err := io.ReadFull(r.f, head); err != nil {
+	if r.size < int64(len(headMagic)) {
+		return fmt.Errorf("dsf: header: truncated")
+	}
+	if _, err := r.ra.ReadAt(head, 0); err != nil {
 		return fmt.Errorf("dsf: header: %w", err)
 	}
 	if !bytes.Equal(head, headMagic) {
 		return fmt.Errorf("dsf: not a DSF file (bad header magic)")
 	}
-	st, err := r.f.Stat()
-	if err != nil {
-		return fmt.Errorf("dsf: stat: %w", err)
-	}
-	if st.Size() < int64(len(headMagic))+24 {
+	if r.size < int64(len(headMagic))+24 {
 		return fmt.Errorf("dsf: file truncated (no footer)")
 	}
 	var foot [24]byte
-	if _, err := r.f.ReadAt(foot[:], st.Size()-24); err != nil {
+	if _, err := r.ra.ReadAt(foot[:], r.size-24); err != nil {
 		return fmt.Errorf("dsf: footer: %w", err)
 	}
 	if !bytes.Equal(foot[16:24], tailMagic) {
@@ -352,11 +397,15 @@ func (r *Reader) load() error {
 	}
 	tocOff := int64(binary.LittleEndian.Uint64(foot[0:]))
 	tocLen := int64(binary.LittleEndian.Uint64(foot[8:]))
-	if tocOff < int64(len(headMagic)) || tocOff+tocLen+24 != st.Size() {
-		return fmt.Errorf("dsf: inconsistent footer (toc at %d len %d, file %d)", tocOff, tocLen, st.Size())
+	// Bounds-check before any arithmetic that could overflow and before the
+	// TOC allocation: a corrupt or hostile footer must fail loudly, never
+	// drive a huge make().
+	if tocOff < int64(len(headMagic)) || tocLen < 0 || tocOff > r.size-24 ||
+		r.size-24-tocOff != tocLen {
+		return fmt.Errorf("dsf: inconsistent footer (toc at %d len %d, file %d)", tocOff, tocLen, r.size)
 	}
 	tocBytes := make([]byte, tocLen)
-	if _, err := r.f.ReadAt(tocBytes, tocOff); err != nil {
+	if _, err := r.ra.ReadAt(tocBytes, tocOff); err != nil {
 		return fmt.Errorf("dsf: toc read: %w", err)
 	}
 	var t toc
@@ -370,6 +419,15 @@ func (r *Reader) load() error {
 	}
 	r.metas = make([]ChunkMeta, len(r.recs))
 	for i, rec := range r.recs {
+		// Every chunk must lie wholly inside the payload region [header,
+		// toc). A TOC that says otherwise is corrupt; trusting it would at
+		// best read garbage and at worst allocate rec.Stored bytes on a
+		// attacker-chosen 2^60 size.
+		if rec.Stored < 0 || rec.RawSize < 0 || rec.Offset < int64(len(headMagic)) ||
+			rec.Stored > tocOff-rec.Offset {
+			return fmt.Errorf("dsf: chunk %d out of bounds (offset %d stored %d, payload ends %d)",
+				i, rec.Offset, rec.Stored, tocOff)
+		}
 		l, err := layout.Unmarshal(rec.LayoutDesc)
 		if err != nil {
 			return fmt.Errorf("dsf: chunk %d layout: %w", i, err)
@@ -405,7 +463,7 @@ func (r *Reader) ReadChunk(i int) ([]byte, error) {
 	}
 	rec := r.recs[i]
 	stored := make([]byte, rec.Stored)
-	if _, err := r.f.ReadAt(stored, rec.Offset); err != nil {
+	if _, err := r.ra.ReadAt(stored, rec.Offset); err != nil {
 		return nil, fmt.Errorf("dsf: chunk %d read: %w", i, err)
 	}
 	if crc := crc32.ChecksumIEEE(stored); crc != rec.CRC {
@@ -441,5 +499,11 @@ func (r *Reader) Verify() error {
 	return nil
 }
 
-// Close releases the file handle.
-func (r *Reader) Close() error { return r.f.Close() }
+// Close releases the underlying source when the Reader owns it (Open);
+// for OpenReaderAt sources it is a no-op.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}

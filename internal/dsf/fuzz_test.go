@@ -1,0 +1,78 @@
+package dsf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"damaris/internal/layout"
+	"damaris/internal/mpi"
+)
+
+// fuzzSeedFile builds a small valid DSF stream in memory.
+func fuzzSeedFile(tb testing.TB, codec Codec) []byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w.SetAttribute("writer", "fuzz-seed")
+	lay := layout.MustNew(layout.Float32, 32)
+	xs := make([]float32, 32)
+	for i := range xs {
+		xs[i] = float32(i) * 0.25
+	}
+	for it := int64(0); it < 2; it++ {
+		meta := ChunkMeta{Name: "theta", Iteration: it, Source: 3, Layout: lay, Codec: codec}
+		if err := w.WriteChunk(meta, mpi.Float32sToBytes(xs)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTOCDecode drives OpenReaderAt — header, footer and TOC decoding —
+// with arbitrary bytes. The invariant is totality: corrupt input must
+// produce an error, never a panic, a huge TOC-driven allocation, or a
+// reader whose chunks lie outside the stream. Inputs that do open must
+// read and verify without panicking.
+func FuzzTOCDecode(f *testing.F) {
+	for _, codec := range []Codec{None, Gzip, ShuffleGzip} {
+		valid := fuzzSeedFile(f, codec)
+		f.Add(valid)
+		// Truncations and bit flips around the structurally interesting
+		// offsets: header, mid-payload, footer.
+		f.Add(valid[:8])
+		f.Add(valid[:len(valid)/2])
+		f.Add(valid[:len(valid)-1])
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)-20] ^= 0xff // TOC offset field
+		f.Add(flipped)
+		reindexed := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint64(reindexed[len(reindexed)-24:], 1<<60) // absurd TOC offset
+		f.Add(reindexed)
+	}
+	f.Add([]byte("DSFv0002"))
+	f.Add([]byte("DSFINDEX"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return // rejected: exactly what corrupt input should get
+		}
+		// An accepted stream must be fully traversable without panics; a
+		// checksum/decode error is fine (the fuzzer may luck into a
+		// consistent TOC over garbage payload).
+		for i, m := range r.Chunks() {
+			if m.Stored < 0 || m.RawSize < 0 {
+				t.Fatalf("chunk %d accepted with negative sizes: %+v", i, m)
+			}
+			_, _ = r.ReadChunk(i)
+		}
+		_ = r.Attributes()
+		_ = r.Verify()
+	})
+}

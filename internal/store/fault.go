@@ -1,0 +1,105 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Blob-plane operation names, as seen by a Fault. OpPutRename fires between
+// a blob's temp-file write and its rename into place: failing it simulates
+// a crash mid-upload, leaving torn bytes in the backend's invisible temp
+// area — exactly the window the manifest-last commit protocol defends.
+const (
+	OpPut       = "put"
+	OpPutRename = "put.rename"
+	OpGet       = "get"
+	OpStat      = "stat"
+	OpList      = "list"
+	OpDelete    = "delete"
+	OpCommit    = "commit"
+	OpOpen      = "open"
+)
+
+// Fault intercepts backend operations for latency and failure injection.
+// Op is consulted before (and, for OpPutRename, in the middle of) each
+// operation; a non-nil return fails that attempt. Implementations must be
+// safe for concurrent use — backends call them from many goroutines.
+type Fault interface {
+	Op(op, name string) error
+}
+
+// FaultFunc adapts a function to the Fault interface.
+type FaultFunc func(op, name string) error
+
+// Op implements Fault.
+func (f FaultFunc) Op(op, name string) error { return f(op, name) }
+
+// Latency injects a fixed sleep into every listed op (every op when none
+// are listed) — the knob benchmarks use to emulate high-latency storage.
+func Latency(d time.Duration, ops ...string) Fault {
+	match := map[string]bool{}
+	for _, op := range ops {
+		match[op] = true
+	}
+	return FaultFunc(func(op, name string) error {
+		if len(match) == 0 || match[op] {
+			time.Sleep(d)
+		}
+		return nil
+	})
+}
+
+// counterFault fails a deterministic window of matching calls.
+type counterFault struct {
+	op    string
+	from  int64 // 1-based first matching call to fail
+	to    int64 // last matching call to fail (inclusive)
+	err   error
+	calls atomic.Int64
+}
+
+func (c *counterFault) Op(op, name string) error {
+	if op != c.op {
+		return nil
+	}
+	n := c.calls.Add(1)
+	if n >= c.from && n <= c.to {
+		return c.err
+	}
+	return nil
+}
+
+// FailNth fails exactly the nth (1-based) call of the given op with err,
+// passing every other call — the deterministic "kill this one upload"
+// primitive crash tests are built on.
+func FailNth(op string, nth int, err error) Fault {
+	return &counterFault{op: op, from: int64(nth), to: int64(nth), err: err}
+}
+
+// FailTimes fails the first n calls of the given op with err, then passes —
+// the shape transient storage errors take, for exercising retries.
+func FailTimes(op string, n int, err error) Fault {
+	return &counterFault{op: op, from: 1, to: int64(n), err: err}
+}
+
+// Chain composes faults: each is consulted in order, the first error wins
+// (later faults still see the op, so latency+failure combinations behave).
+func Chain(faults ...Fault) Fault {
+	return FaultFunc(func(op, name string) error {
+		var first error
+		for _, f := range faults {
+			if err := f.Op(op, name); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	})
+}
+
+// opFault is the backends' nil-tolerant fault hook.
+func opFault(f Fault, op, name string) error {
+	if f == nil {
+		return nil
+	}
+	return f.Op(op, name)
+}

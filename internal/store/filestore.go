@@ -1,0 +1,375 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FileStore is the "file" backend: today's DSF-directory layout, promoted
+// to one backend among peers. Every object (or blob) is a plain file under
+// the root directory, named exactly as the object — so a directory written
+// through a FileStore is byte-identical to what the pre-backend persister
+// produced, and stays readable by dsf.OpenCollection and plain tools.
+//
+// Objects are single-part: Create streams into a hidden temp file and
+// Commit renames it into place, which is this backend's atomic-visibility
+// protocol (the rename plays the role the manifest commit plays in the
+// object store). Manifests are synthesized from the files themselves.
+type FileStore struct {
+	root    string
+	fault   Fault
+	metrics metrics
+}
+
+// NewFileStore opens (creating if needed) a file backend rooted at dir.
+func NewFileStore(dir string, opts Options) (*FileStore, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: file backend: %w", err)
+	}
+	return &FileStore{root: dir, fault: opts.Fault, metrics: metrics{scheme: "file"}}, nil
+}
+
+// Root returns the backing directory.
+func (s *FileStore) Root() string { return s.root }
+
+// Path returns the filesystem path a committed object or blob lives at.
+func (s *FileStore) Path(name string) string { return filepath.Join(s.root, filepath.FromSlash(name)) }
+
+func (s *FileStore) tmpPath() string {
+	return filepath.Join(s.root, ".tmp-"+tmpName())
+}
+
+// writeBlob writes data to the named file via temp+rename, threading the
+// put faults through so tests can tear the write mid-flight.
+func (s *FileStore) writeBlob(name string, data []byte) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	// Timer before the fault hook: injected latency models the storage
+	// target and belongs in PutLatency.
+	start := time.Now()
+	if err := opFault(s.fault, OpPut, name); err != nil {
+		s.metrics.recordFailure()
+		return err
+	}
+	dst := s.Path(name)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		s.metrics.recordFailure()
+		return fmt.Errorf("store: put %q: %w", name, err)
+	}
+	tmp := s.tmpPath()
+	if err := writeFileSync(tmp, data); err != nil {
+		s.metrics.recordFailure()
+		return fmt.Errorf("store: put %q: %w", name, err)
+	}
+	if err := opFault(s.fault, OpPutRename, name); err != nil {
+		// Torn write: the temp file stays behind, invisible to List/Get.
+		s.metrics.recordFailure()
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		s.metrics.recordFailure()
+		return fmt.Errorf("store: put %q: %w", name, err)
+	}
+	s.metrics.recordPut(time.Since(start).Seconds(), int64(len(data)))
+	return nil
+}
+
+// Put stores one immutable blob as a file under the root.
+func (s *FileStore) Put(name string, data []byte) error { return s.writeBlob(name, data) }
+
+// Get reads a blob back.
+func (s *FileStore) Get(name string) ([]byte, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := opFault(s.fault, OpGet, name); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	b, err := os.ReadFile(s.Path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: get %q: %w", name, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: get %q: %w", name, err)
+	}
+	s.metrics.recordGet(time.Since(start).Seconds(), int64(len(b)))
+	return b, nil
+}
+
+// Stat reports a blob's size.
+func (s *FileStore) Stat(name string) (ObjectInfo, error) {
+	if err := validName(name); err != nil {
+		return ObjectInfo{}, err
+	}
+	if err := opFault(s.fault, OpStat, name); err != nil {
+		s.metrics.recordFailure()
+		return ObjectInfo{}, err
+	}
+	fi, err := os.Stat(s.Path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ObjectInfo{}, fmt.Errorf("store: stat %q: %w", name, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return ObjectInfo{}, fmt.Errorf("store: stat %q: %w", name, err)
+	}
+	if fi.IsDir() {
+		return ObjectInfo{}, fmt.Errorf("store: stat %q: %w", name, ErrNotExist)
+	}
+	return ObjectInfo{Name: name, Size: fi.Size()}, nil
+}
+
+// List returns the blobs whose names start with prefix, sorted. Hidden
+// files (backend temporaries) never appear.
+func (s *FileStore) List(prefix string) ([]ObjectInfo, error) {
+	if err := opFault(s.fault, OpList, prefix); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	var out []ObjectInfo
+	err := filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(p)
+		if p != s.root && strings.HasPrefix(base, ".") {
+			if d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if !strings.HasPrefix(name, prefix) {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		out = append(out, ObjectInfo{Name: name, Size: fi.Size()})
+		return nil
+	})
+	if err != nil {
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Delete removes a blob.
+func (s *FileStore) Delete(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if err := opFault(s.fault, OpDelete, name); err != nil {
+		s.metrics.recordFailure()
+		return err
+	}
+	if err := os.Remove(s.Path(name)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("store: delete %q: %w", name, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return fmt.Errorf("store: delete %q: %w", name, err)
+	}
+	s.metrics.recordDelete()
+	return nil
+}
+
+// Create opens an object for streaming. The bytes land in a hidden temp
+// file; Commit renames it to the object's name — the atomic publish.
+func (s *FileStore) Create(object string) (ObjectWriter, error) {
+	if err := validName(object); err != nil {
+		return nil, err
+	}
+	if err := opFault(s.fault, OpPut, object); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	dst := s.Path(object)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: create %q: %w", object, err)
+	}
+	tmp := s.tmpPath()
+	f, err := os.Create(tmp)
+	if err != nil {
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: create %q: %w", object, err)
+	}
+	return &fileObjWriter{s: s, object: object, f: f, tmp: tmp, dst: dst, start: time.Now()}, nil
+}
+
+type fileObjWriter struct {
+	s      *FileStore
+	object string
+	f      *os.File
+	tmp    string
+	dst    string
+	size   int64
+	start  time.Time
+	done   bool
+}
+
+func (w *fileObjWriter) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, fmt.Errorf("store: write on finished object %q", w.object)
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+func (w *fileObjWriter) Commit() (*Manifest, error) {
+	if w.done {
+		return nil, fmt.Errorf("store: object %q already finished", w.object)
+	}
+	w.done = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		os.Remove(w.tmp)
+		w.s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: commit %q: %w", w.object, err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		w.s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: commit %q: %w", w.object, err)
+	}
+	if err := opFault(w.s.fault, OpPutRename, w.object); err != nil {
+		// Simulated crash before publish: the temp file stays torn and the
+		// object stays invisible.
+		w.s.metrics.recordFailure()
+		return nil, err
+	}
+	if err := opFault(w.s.fault, OpCommit, w.object); err != nil {
+		w.s.metrics.recordFailure()
+		return nil, err
+	}
+	if err := os.Rename(w.tmp, w.dst); err != nil {
+		w.s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: commit %q: %w", w.object, err)
+	}
+	w.s.metrics.recordPut(time.Since(w.start).Seconds(), w.size)
+	w.s.metrics.recordCommit()
+	return fileManifest(w.object, w.size), nil
+}
+
+func (w *fileObjWriter) Abort() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.f.Close()
+	return os.Remove(w.tmp)
+}
+
+// fileManifest synthesizes the single-part manifest of a file-backed object.
+func fileManifest(object string, size int64) *Manifest {
+	return &Manifest{Object: object, Size: size, Parts: []Part{{Blob: object, Size: size}}}
+}
+
+// Open returns random access over a committed object.
+func (s *FileStore) Open(object string) (ObjectReader, error) {
+	if err := validName(object); err != nil {
+		return nil, err
+	}
+	if err := opFault(s.fault, OpOpen, object); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	f, err := os.Open(s.Path(object))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: open %q: %w", object, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: open %q: %w", object, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: open %q: %w", object, err)
+	}
+	return &fileObjReader{s: s, f: f, size: fi.Size()}, nil
+}
+
+type fileObjReader struct {
+	s    *FileStore
+	f    *os.File
+	size int64
+}
+
+func (r *fileObjReader) ReadAt(p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := r.f.ReadAt(p, off)
+	r.s.metrics.recordGet(time.Since(start).Seconds(), int64(n))
+	return n, err
+}
+
+func (r *fileObjReader) Size() int64  { return r.size }
+func (r *fileObjReader) Close() error { return r.f.Close() }
+
+// Objects lists the committed objects — every visible file under the root.
+func (s *FileStore) Objects() ([]ObjectInfo, error) { return s.List("") }
+
+// Manifest synthesizes the manifest of a committed object: one part, the
+// file itself.
+func (s *FileStore) Manifest(object string) (*Manifest, error) {
+	info, err := s.Stat(object)
+	if err != nil {
+		return nil, err
+	}
+	return fileManifest(object, info.Size), nil
+}
+
+// Commit validates a manifest against the files on disk. The rename in
+// ObjectWriter.Commit already made the object visible, so there is nothing
+// to publish — this exists so manifest-level callers can treat both
+// backends uniformly.
+func (s *FileStore) Commit(m *Manifest) error {
+	if m == nil || m.Object == "" {
+		return fmt.Errorf("store: commit without an object name")
+	}
+	if err := opFault(s.fault, OpCommit, m.Object); err != nil {
+		s.metrics.recordFailure()
+		return err
+	}
+	for _, p := range m.Parts {
+		if _, err := s.Stat(p.Blob); err != nil {
+			return fmt.Errorf("store: commit %q: part %q: %w", m.Object, p.Blob, err)
+		}
+	}
+	s.metrics.recordCommit()
+	return nil
+}
+
+// Stats snapshots the backend metrics.
+func (s *FileStore) Stats() Stats { return s.metrics.snapshot() }
+
+// Close is a no-op: the file backend holds no resources between calls.
+func (s *FileStore) Close() error { return nil }

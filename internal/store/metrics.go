@@ -1,0 +1,148 @@
+package store
+
+import (
+	"sync"
+
+	"damaris/internal/stats"
+)
+
+// Stats is a snapshot of one backend's operation metrics, exported through
+// core's PipelineStats so a run reports its storage profile next to its
+// pipeline profile.
+type Stats struct {
+	// Scheme identifies the backend kind ("file", "obj", ...).
+	Scheme string
+	// Puts/Gets/Deletes count blob-plane operations that reached storage
+	// (dedupe-skipped part uploads are counted in DedupeHits instead).
+	Puts, Gets, Deletes int64
+	// PutBytes and GetBytes measure the volume moved.
+	PutBytes, GetBytes int64
+	// PutLatency and GetLatency summarize per-op seconds, injected fault
+	// latency included (that is the point: it models the storage target).
+	PutLatency, GetLatency stats.Summary
+	// Failures counts operations that returned an error, retried or not.
+	Failures int64
+	// Retries counts part-upload attempts beyond each part's first.
+	Retries int64
+	// DedupeHits counts part uploads skipped because the content-addressed
+	// blob was already present; DedupeBytes the upload bytes saved.
+	DedupeHits  int64
+	DedupeBytes int64
+	// PartsInFlight / MaxPartsInFlight gauge the multipart upload pool.
+	PartsInFlight    int64
+	MaxPartsInFlight int64
+	// Commits counts manifests published (== objects made visible).
+	Commits int64
+}
+
+// DedupeHitRate is the fraction of part uploads avoided by content
+// addressing: hits / (hits + actual puts). Zero when nothing was uploaded.
+func (s Stats) DedupeHitRate() float64 {
+	total := s.DedupeHits + s.Puts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DedupeHits) / float64(total)
+}
+
+// metrics is the mutex-guarded accumulator both backends embed.
+type metrics struct {
+	scheme string
+
+	mu               sync.Mutex
+	puts, gets, dels int64
+	putBytes         int64
+	getBytes         int64
+	putLat, getLat   stats.Accumulator
+	failures         int64
+	retries          int64
+	dedupeHits       int64
+	dedupeBytes      int64
+	partsInFlight    int64
+	maxPartsInFlight int64
+	commits          int64
+}
+
+func (m *metrics) recordPut(seconds float64, bytes int64) {
+	m.mu.Lock()
+	m.puts++
+	m.putBytes += bytes
+	m.putLat.Add(seconds)
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordGet(seconds float64, bytes int64) {
+	m.mu.Lock()
+	m.gets++
+	m.getBytes += bytes
+	m.getLat.Add(seconds)
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordDelete() {
+	m.mu.Lock()
+	m.dels++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordFailure() {
+	m.mu.Lock()
+	m.failures++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordRetry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordDedupe(bytes int64) {
+	m.mu.Lock()
+	m.dedupeHits++
+	m.dedupeBytes += bytes
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordCommit() {
+	m.mu.Lock()
+	m.commits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) partStart() {
+	m.mu.Lock()
+	m.partsInFlight++
+	if m.partsInFlight > m.maxPartsInFlight {
+		m.maxPartsInFlight = m.partsInFlight
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) partEnd() {
+	m.mu.Lock()
+	m.partsInFlight--
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Scheme:           m.scheme,
+		Puts:             m.puts,
+		Gets:             m.gets,
+		Deletes:          m.dels,
+		PutBytes:         m.putBytes,
+		GetBytes:         m.getBytes,
+		PutLatency:       m.putLat.Summary(),
+		GetLatency:       m.getLat.Summary(),
+		Failures:         m.failures,
+		Retries:          m.retries,
+		DedupeHits:       m.dedupeHits,
+		DedupeBytes:      m.dedupeBytes,
+		PartsInFlight:    m.partsInFlight,
+		MaxPartsInFlight: m.maxPartsInFlight,
+		Commits:          m.commits,
+	}
+}

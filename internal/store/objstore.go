@@ -1,0 +1,619 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ObjStore is the "obj" backend: a content-addressed object store in the
+// shape of S3-style multipart upload, backed by a local directory (the
+// directory stands in for the remote service; the protocol is the real
+// contribution and is what the injectable Fault exercises).
+//
+// An object's byte stream is split into fixed-size parts. Each part is
+// stored as the blob "cas/sha256/<hex digest>", so identical content across
+// iterations, ranks or retries lands on the same blob: re-uploads dedupe
+// (the writer stats the blob first) and retries are idempotent. Parts
+// upload through a bounded parallel worker pool shared by every writer of
+// the backend instance — many small in-flight puts overlap instead of one
+// big serialized file append.
+//
+// Visibility is manifest-last: parts are invisible until a manifest naming
+// them is committed (written to its own temp file, fsynced, renamed). A
+// crash at any earlier point leaves only unreferenced CAS blobs and torn
+// temp files — no reader can observe a partial object, and the retry skips
+// every part that already made it.
+//
+// Directory layout under the root:
+//
+//	blobs/<name>            the blob plane (parts live under blobs/cas/sha256/)
+//	manifests/<object>.json committed manifests (atomic rename)
+//	tmp/                    in-flight temporaries, ignored by all reads
+type ObjStore struct {
+	root        string
+	partSize    int64
+	putWorkers  int
+	putAttempts int
+	fault       Fault
+	metrics     metrics
+
+	// sem bounds the parts concurrently uploading (or buffered awaiting a
+	// worker slot) across all of this backend's ObjectWriters.
+	sem chan struct{}
+	// partBufs recycles part-sized buffers between uploads so steady-state
+	// multipart writes allocate nothing per part.
+	partBufs sync.Pool
+}
+
+// NewObjStore opens (creating if needed) an object store rooted at dir.
+func NewObjStore(dir string, opts Options) (*ObjStore, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if dir == "" {
+		return nil, fmt.Errorf("store: object backend needs a root directory")
+	}
+	for _, sub := range []string{"blobs", "manifests", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: object backend: %w", err)
+		}
+	}
+	s := &ObjStore{
+		root:        dir,
+		partSize:    opts.PartSize,
+		putWorkers:  opts.PutWorkers,
+		putAttempts: opts.PutAttempts,
+		fault:       opts.Fault,
+		metrics:     metrics{scheme: "obj"},
+		sem:         make(chan struct{}, opts.PutWorkers),
+	}
+	s.partBufs.New = func() any {
+		b := make([]byte, 0, s.partSize)
+		return &b
+	}
+	return s, nil
+}
+
+// Root returns the backing directory.
+func (s *ObjStore) Root() string { return s.root }
+
+// PartSize returns the multipart split size.
+func (s *ObjStore) PartSize() int64 { return s.partSize }
+
+func (s *ObjStore) blobPath(name string) string {
+	return filepath.Join(s.root, "blobs", filepath.FromSlash(name))
+}
+
+func (s *ObjStore) manifestPath(object string) string {
+	return filepath.Join(s.root, "manifests", filepath.FromSlash(object)+".json")
+}
+
+func (s *ObjStore) tmpPath() string {
+	return filepath.Join(s.root, "tmp", "t-"+tmpName())
+}
+
+// casBlobName is the content-addressed blob name of one part.
+func casBlobName(sum [sha256.Size]byte) string {
+	return "cas/sha256/" + hex.EncodeToString(sum[:])
+}
+
+// writeTempAndRename lands data at dst via the backend's temp area, with
+// the put faults threaded through (OpPutRename failing between write and
+// rename is the torn-upload crash window). The temp file is fsynced before
+// the rename: the manifest-last protocol's invariant is that everything a
+// manifest references is durable, so a power loss after a blob's rename
+// must never surface zero-filled part bytes.
+func (s *ObjStore) writeTempAndRename(op string, name string, dst string, data []byte) error {
+	tmp := s.tmpPath()
+	if err := writeFileSync(tmp, data); err != nil {
+		return fmt.Errorf("store: %s %q: %w", op, name, err)
+	}
+	if err := opFault(s.fault, OpPutRename, name); err != nil {
+		return err // torn: tmp stays behind, invisible
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: %s %q: %w", op, name, err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("store: %s %q: %w", op, name, err)
+	}
+	return nil
+}
+
+// Put stores one immutable blob. Re-putting an existing name is legal only
+// with identical bytes (content-addressed callers get that by
+// construction); the rename makes the operation idempotent either way.
+func (s *ObjStore) Put(name string, data []byte) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	// The timer starts before the fault hook on purpose: injected latency
+	// models the storage target, so it belongs in PutLatency.
+	start := time.Now()
+	if err := opFault(s.fault, OpPut, name); err != nil {
+		s.metrics.recordFailure()
+		return err
+	}
+	if err := s.writeTempAndRename("put", name, s.blobPath(name), data); err != nil {
+		s.metrics.recordFailure()
+		return err
+	}
+	s.metrics.recordPut(time.Since(start).Seconds(), int64(len(data)))
+	return nil
+}
+
+// Get reads a blob back.
+func (s *ObjStore) Get(name string) ([]byte, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := opFault(s.fault, OpGet, name); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	b, err := os.ReadFile(s.blobPath(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: get %q: %w", name, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: get %q: %w", name, err)
+	}
+	s.metrics.recordGet(time.Since(start).Seconds(), int64(len(b)))
+	return b, nil
+}
+
+// Stat reports a blob's size — the dedupe probe.
+func (s *ObjStore) Stat(name string) (ObjectInfo, error) {
+	if err := validName(name); err != nil {
+		return ObjectInfo{}, err
+	}
+	if err := opFault(s.fault, OpStat, name); err != nil {
+		s.metrics.recordFailure()
+		return ObjectInfo{}, err
+	}
+	fi, err := os.Stat(s.blobPath(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ObjectInfo{}, fmt.Errorf("store: stat %q: %w", name, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return ObjectInfo{}, fmt.Errorf("store: stat %q: %w", name, err)
+	}
+	if fi.IsDir() {
+		return ObjectInfo{}, fmt.Errorf("store: stat %q: %w", name, ErrNotExist)
+	}
+	return ObjectInfo{Name: name, Size: fi.Size()}, nil
+}
+
+// List returns the blobs whose names start with prefix, sorted.
+func (s *ObjStore) List(prefix string) ([]ObjectInfo, error) {
+	if err := opFault(s.fault, OpList, prefix); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	root := filepath.Join(s.root, "blobs")
+	var out []ObjectInfo
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if !strings.HasPrefix(name, prefix) {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		out = append(out, ObjectInfo{Name: name, Size: fi.Size()})
+		return nil
+	})
+	if err != nil {
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Delete removes a blob. Deleting a part still referenced by a manifest
+// breaks that object — garbage collection of unreferenced parts is the
+// caller's (or a future GC pass's) concern.
+func (s *ObjStore) Delete(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if err := opFault(s.fault, OpDelete, name); err != nil {
+		s.metrics.recordFailure()
+		return err
+	}
+	if err := os.Remove(s.blobPath(name)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("store: delete %q: %w", name, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return fmt.Errorf("store: delete %q: %w", name, err)
+	}
+	s.metrics.recordDelete()
+	return nil
+}
+
+// Create starts a multipart object upload.
+func (s *ObjStore) Create(object string) (ObjectWriter, error) {
+	if err := validName(object); err != nil {
+		return nil, err
+	}
+	buf := s.partBufs.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	return &objWriter{s: s, object: object, buf: buf}, nil
+}
+
+// objWriter accumulates partSize bytes at a time and hands full parts to
+// the upload pool; Write blocks when putWorkers parts are already in
+// flight, so memory stays bounded at (putWorkers+1) part buffers no matter
+// how large the object is.
+type objWriter struct {
+	s      *ObjStore
+	object string
+	buf    *[]byte
+	size   int64
+	nparts int
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	parts    []Part // indexed by part number, filled as uploads finish
+	firstErr error
+	done     bool
+}
+
+func (w *objWriter) setErr(err error) {
+	w.mu.Lock()
+	if w.firstErr == nil {
+		w.firstErr = err
+	}
+	w.mu.Unlock()
+}
+
+func (w *objWriter) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.firstErr
+}
+
+func (w *objWriter) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, fmt.Errorf("store: write on finished object %q", w.object)
+	}
+	if err := w.err(); err != nil {
+		return 0, err // fail fast: a part already failed terminally
+	}
+	written := 0
+	for len(p) > 0 {
+		room := int(w.s.partSize) - len(*w.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		*w.buf = append(*w.buf, p[:n]...)
+		p = p[n:]
+		written += n
+		w.size += int64(n)
+		if int64(len(*w.buf)) == w.s.partSize {
+			w.dispatchPart()
+		}
+	}
+	return written, nil
+}
+
+// dispatchPart hands the current buffer to the upload pool and starts a
+// fresh one. It blocks on the pool semaphore — the multipart backpressure
+// point.
+func (w *objWriter) dispatchPart() {
+	buf := w.buf
+	idx := w.nparts
+	w.nparts++
+	w.mu.Lock()
+	w.parts = append(w.parts, Part{}) // reserve slot idx, filled by the upload
+	w.mu.Unlock()
+
+	w.s.metrics.partStart()
+	w.s.sem <- struct{}{} // acquire a pool slot (blocks when saturated)
+	w.wg.Add(1)
+	go func() {
+		defer func() {
+			<-w.s.sem
+			w.s.metrics.partEnd()
+			*buf = (*buf)[:0]
+			w.s.partBufs.Put(buf)
+			w.wg.Done()
+		}()
+		part, err := w.s.uploadPart(*buf)
+		if err != nil {
+			w.setErr(fmt.Errorf("store: object %q part %d: %w", w.object, idx, err))
+			return
+		}
+		w.mu.Lock()
+		w.parts[idx] = part
+		w.mu.Unlock()
+	}()
+
+	next := w.s.partBufs.Get().(*[]byte)
+	*next = (*next)[:0]
+	w.buf = next
+}
+
+// uploadPart content-addresses one part and makes it durable: a part whose
+// blob already exists is a dedupe hit (skip the upload entirely); otherwise
+// put it, retrying transient failures — idempotent because the name is the
+// content.
+func (s *ObjStore) uploadPart(data []byte) (Part, error) {
+	sum := sha256.Sum256(data)
+	part := Part{
+		Blob:   casBlobName(sum),
+		Size:   int64(len(data)),
+		SHA256: hex.EncodeToString(sum[:]),
+	}
+	if info, err := s.Stat(part.Blob); err == nil && info.Size == part.Size {
+		s.metrics.recordDedupe(part.Size)
+		return part, nil
+	}
+	var lastErr error
+	for attempt := 1; attempt <= s.putAttempts; attempt++ {
+		if attempt > 1 {
+			s.metrics.recordRetry()
+			// A failed attempt may have landed the blob anyway (e.g. the
+			// caller observed a timeout after the rename); content
+			// addressing lets the retry begin with the same dedupe probe.
+			if info, err := s.Stat(part.Blob); err == nil && info.Size == part.Size {
+				s.metrics.recordDedupe(part.Size)
+				return part, nil
+			}
+		}
+		if lastErr = s.Put(part.Blob, data); lastErr == nil {
+			return part, nil
+		}
+	}
+	return Part{}, fmt.Errorf("upload failed after %d attempts: %w", s.putAttempts, lastErr)
+}
+
+func (w *objWriter) Commit() (*Manifest, error) {
+	if w.done {
+		return nil, fmt.Errorf("store: object %q already finished", w.object)
+	}
+	w.done = true
+	if len(*w.buf) > 0 {
+		w.dispatchPart()
+	}
+	// Release the final buffer and wait for every in-flight part.
+	*w.buf = (*w.buf)[:0]
+	w.s.partBufs.Put(w.buf)
+	w.buf = nil
+	w.wg.Wait()
+	if err := w.err(); err != nil {
+		return nil, err
+	}
+	m := &Manifest{Object: w.object, Size: w.size, Parts: w.parts}
+	if err := w.s.Commit(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (w *objWriter) Abort() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	if w.buf != nil {
+		*w.buf = (*w.buf)[:0]
+		w.s.partBufs.Put(w.buf)
+		w.buf = nil
+	}
+	w.wg.Wait()
+	// Already-uploaded parts stay as unreferenced CAS blobs: invisible
+	// without a manifest, and free dedupe fodder for the retry.
+	return nil
+}
+
+// Commit publishes a manifest, making its object visible. Every part blob
+// must already be durable — the manifest-last protocol's invariant.
+func (s *ObjStore) Commit(m *Manifest) error {
+	if m == nil || m.Object == "" {
+		return fmt.Errorf("store: commit without an object name")
+	}
+	if err := validName(m.Object); err != nil {
+		return err
+	}
+	if err := opFault(s.fault, OpCommit, m.Object); err != nil {
+		s.metrics.recordFailure()
+		return err
+	}
+	for i, p := range m.Parts {
+		fi, err := os.Stat(s.blobPath(p.Blob))
+		if err != nil || fi.Size() != p.Size {
+			s.metrics.recordFailure()
+			return fmt.Errorf("store: commit %q: part %d blob %q not durable", m.Object, i, p.Blob)
+		}
+	}
+	enc, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: commit %q: %w", m.Object, err)
+	}
+	if err := s.writeTempAndRename("commit", m.Object, s.manifestPath(m.Object), append(enc, '\n')); err != nil {
+		s.metrics.recordFailure()
+		return err
+	}
+	s.metrics.recordCommit()
+	return nil
+}
+
+// Manifest reads a committed object's manifest back.
+func (s *ObjStore) Manifest(object string) (*Manifest, error) {
+	if err := validName(object); err != nil {
+		return nil, err
+	}
+	if err := opFault(s.fault, OpGet, object); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	b, err := os.ReadFile(s.manifestPath(object))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: manifest %q: %w", object, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: manifest %q: %w", object, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: manifest %q: %w", object, err)
+	}
+	return &m, nil
+}
+
+// Objects lists the committed objects (those with a manifest), sorted.
+func (s *ObjStore) Objects() ([]ObjectInfo, error) {
+	if err := opFault(s.fault, OpList, ""); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	root := filepath.Join(s.root, "manifests")
+	var out []ObjectInfo
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".json") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		object := strings.TrimSuffix(filepath.ToSlash(rel), ".json")
+		m, err := s.Manifest(object)
+		if err != nil {
+			return err
+		}
+		out = append(out, ObjectInfo{Name: object, Size: m.Size})
+		return nil
+	})
+	if err != nil {
+		s.metrics.recordFailure()
+		return nil, fmt.Errorf("store: objects: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Open returns random access over a committed object, resolving reads
+// through its manifest to the content-addressed parts.
+func (s *ObjStore) Open(object string) (ObjectReader, error) {
+	if err := opFault(s.fault, OpOpen, object); err != nil {
+		s.metrics.recordFailure()
+		return nil, err
+	}
+	m, err := s.Manifest(object)
+	if err != nil {
+		return nil, err
+	}
+	r := &objReader{s: s, m: m, offsets: make([]int64, len(m.Parts)+1), cached: -1}
+	var off int64
+	for i, p := range m.Parts {
+		r.offsets[i] = off
+		off += p.Size
+	}
+	r.offsets[len(m.Parts)] = off
+	if off != m.Size {
+		return nil, fmt.Errorf("store: open %q: manifest size %d != part sum %d", object, m.Size, off)
+	}
+	return r, nil
+}
+
+// objReader maps ReadAt offsets onto manifest parts, caching the most
+// recently fetched part — DSF's read pattern (header, footer, TOC, then
+// ascending chunks) makes that one-slot cache effective.
+type objReader struct {
+	s       *ObjStore
+	m       *Manifest
+	offsets []int64 // offsets[i] is part i's start; last entry is the size
+
+	mu      sync.Mutex
+	cached  int
+	partBuf []byte
+}
+
+func (r *objReader) Size() int64 { return r.m.Size }
+
+func (r *objReader) Close() error {
+	r.mu.Lock()
+	r.partBuf = nil
+	r.cached = -1
+	r.mu.Unlock()
+	return nil
+}
+
+// partAt returns the index of the part containing offset off.
+func (r *objReader) partAt(off int64) int {
+	i := sort.Search(len(r.m.Parts), func(i int) bool { return r.offsets[i+1] > off })
+	return i
+}
+
+func (r *objReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative read offset %d", off)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		if off >= r.m.Size {
+			return total, io.EOF
+		}
+		i := r.partAt(off)
+		if r.cached != i {
+			b, err := r.s.Get(r.m.Parts[i].Blob)
+			if err != nil {
+				return total, err
+			}
+			if int64(len(b)) != r.m.Parts[i].Size {
+				return total, fmt.Errorf("store: part %q is %d bytes, manifest says %d",
+					r.m.Parts[i].Blob, len(b), r.m.Parts[i].Size)
+			}
+			r.partBuf = b
+			r.cached = i
+		}
+		n := copy(p, r.partBuf[off-r.offsets[i]:])
+		p = p[n:]
+		off += int64(n)
+		total += n
+	}
+	return total, nil
+}
+
+// Stats snapshots the backend metrics.
+func (s *ObjStore) Stats() Stats { return s.metrics.snapshot() }
+
+// Close is a no-op today; the interface keeps it for backends with real
+// connections to tear down.
+func (s *ObjStore) Close() error { return nil }

@@ -1,0 +1,376 @@
+// Package store is the pluggable storage-backend subsystem behind the
+// dedicated core's persistence pipeline. The paper's dedicated-core story
+// ends at "gathering data into large files" (§IV-B); this package turns the
+// destination of those files into a seam, so the same write-behind
+// machinery can drive storage targets with very different latency profiles
+// — a local DSF directory, a content-addressed object store, and later an
+// HDF5-shaped layer or a cross-node aggregator.
+//
+// A Backend exposes two planes:
+//
+//   - The blob plane: Put/Get/Stat/List/Delete over named immutable blobs.
+//     Blobs are write-once; re-putting a name must carry the same bytes
+//     (content-addressed callers get this for free), which makes retries
+//     idempotent.
+//   - The object plane: Create streams one logical object (for Damaris, one
+//     encoded DSF file) into the backend and Commit publishes a manifest
+//     describing its parts. The manifest is written last and atomically, so
+//     a crash mid-upload leaves no visible torn object: readers only ever
+//     see objects whose every byte is already durable.
+//
+// Backends are selected by URL through a registry (Register/Open), e.g.
+// "file:///data/out" or "obj:///data/objects?part_size=1048576". All
+// Backend implementations must be safe for concurrent use by multiple
+// persist writers.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Tuning defaults, used when Options or URL queries leave a knob zero.
+const (
+	// DefaultPartSize is the objstore multipart split size. 4 MiB mirrors
+	// common object-store multipart minimums while keeping several parts in
+	// flight for typical per-iteration DSF files.
+	DefaultPartSize = 4 << 20
+	// DefaultPutWorkers bounds the parallel multipart upload pool.
+	DefaultPutWorkers = 4
+	// DefaultPutAttempts is the total tries per part upload (1 first
+	// attempt + retries). Content addressing makes every retry idempotent.
+	DefaultPutAttempts = 3
+)
+
+// ErrNotExist reports a blob, object or manifest that is not (visibly)
+// present. Crash-interrupted uploads look like this by design: without a
+// committed manifest the object does not exist.
+var ErrNotExist = errors.New("store: does not exist")
+
+// ObjectInfo describes one blob or committed object.
+type ObjectInfo struct {
+	Name string
+	Size int64
+}
+
+// Part is one fixed-size piece of an object's byte stream, stored as a blob.
+type Part struct {
+	// Blob is the blob-plane name holding this part's bytes.
+	Blob string `json:"blob"`
+	// Size is the part length in bytes.
+	Size int64 `json:"size"`
+	// SHA256 is the hex digest of the part's content when the backend is
+	// content-addressed (empty for backends that store objects whole).
+	SHA256 string `json:"sha256,omitempty"`
+}
+
+// Manifest describes one committed object: the ordered parts whose
+// concatenation is the object's byte stream. Committing the manifest is
+// what makes the object visible; every part must be durable first.
+type Manifest struct {
+	Object string `json:"object"`
+	Size   int64  `json:"size"`
+	Parts  []Part `json:"parts"`
+}
+
+// ObjectWriter streams one object into a backend. Bytes written are not
+// visible to readers until Commit returns; Abort discards the attempt
+// (already-uploaded content-addressed parts may remain as invisible blobs,
+// where they seed dedupe for the retry).
+type ObjectWriter interface {
+	// Write appends to the object's byte stream. It may block when the
+	// backend's upload pool is saturated — that backpressure is what bounds
+	// the writer's memory.
+	Write(p []byte) (int, error)
+	// Commit makes the object durable and atomically visible, returning its
+	// manifest. No Write may follow.
+	Commit() (*Manifest, error)
+	// Abort abandons the object; it stays invisible.
+	Abort() error
+}
+
+// ObjectReader is random-access over one committed object's byte stream.
+type ObjectReader interface {
+	ReadAt(p []byte, off int64) (int, error)
+	Size() int64
+	Close() error
+}
+
+// Backend is the storage seam every persistence target implements.
+type Backend interface {
+	// Blob plane: named immutable blobs.
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	Stat(name string) (ObjectInfo, error)
+	List(prefix string) ([]ObjectInfo, error)
+	Delete(name string) error
+
+	// Object plane: streamed writes published by an atomic manifest commit.
+	Create(object string) (ObjectWriter, error)
+	Open(object string) (ObjectReader, error)
+	Objects() ([]ObjectInfo, error)
+	Manifest(object string) (*Manifest, error)
+	Commit(m *Manifest) error
+
+	// Stats snapshots the backend's operation metrics.
+	Stats() Stats
+	// Close releases backend resources. Objects committed before Close stay
+	// durable.
+	Close() error
+}
+
+// Options tune a backend at Open time. Zero fields select defaults; URL
+// query parameters override non-zero fields.
+type Options struct {
+	// PartSize is the objstore multipart split size in bytes (0 = default).
+	PartSize int64
+	// PutWorkers bounds the parallel part-upload pool (0 = default).
+	PutWorkers int
+	// PutAttempts is the total tries per part upload, first attempt
+	// included (0 = default).
+	PutAttempts int
+	// Fault, when non-nil, injects per-op latency and failures — the hook
+	// tests and benchmarks use to emulate slow or flaky storage.
+	Fault Fault
+}
+
+func (o *Options) withDefaults() Options {
+	r := *o
+	if r.PartSize == 0 {
+		r.PartSize = DefaultPartSize
+	}
+	if r.PutWorkers == 0 {
+		r.PutWorkers = DefaultPutWorkers
+	}
+	if r.PutAttempts == 0 {
+		r.PutAttempts = DefaultPutAttempts
+	}
+	return r
+}
+
+func (o *Options) validate() error {
+	if o.PartSize < 0 {
+		return fmt.Errorf("store: negative part size %d", o.PartSize)
+	}
+	if o.PutWorkers < 0 {
+		return fmt.Errorf("store: negative put worker count %d", o.PutWorkers)
+	}
+	if o.PutAttempts < 0 {
+		return fmt.Errorf("store: negative put attempt count %d", o.PutAttempts)
+	}
+	return nil
+}
+
+// OpenFunc builds a backend over a scheme-less target (what follows the
+// "scheme://" in the URL, query stripped).
+type OpenFunc func(target string, opts Options) (Backend, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]OpenFunc{}
+)
+
+// Register adds a backend scheme. Built-ins "file" and "obj" are registered
+// by this package; external packages may add their own (the HDF5-shaped and
+// cross-node-aggregating backends the ROADMAP names plug in here).
+func Register(scheme string, open OpenFunc) error {
+	if scheme == "" || open == nil {
+		return fmt.Errorf("store: Register needs a scheme and an open function")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[scheme]; dup {
+		return fmt.Errorf("store: scheme %q already registered", scheme)
+	}
+	registry[scheme] = open
+	return nil
+}
+
+// Schemes lists the registered backend schemes, sorted.
+func Schemes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for s := range registry {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	if err := Register("file", func(target string, opts Options) (Backend, error) {
+		return NewFileStore(target, opts)
+	}); err != nil {
+		panic(err)
+	}
+	if err := Register("obj", func(target string, opts Options) (Backend, error) {
+		return NewObjStore(target, opts)
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// splitURL breaks "scheme://target?query" into its pieces. The target is
+// kept verbatim (so "file:///abs/dir" yields "/abs/dir" and "file://rel"
+// yields "rel").
+func splitURL(raw string) (scheme, target, query string, err error) {
+	i := strings.Index(raw, "://")
+	if i <= 0 {
+		return "", "", "", fmt.Errorf("store: %q is not a backend URL (want scheme://target)", raw)
+	}
+	scheme = raw[:i]
+	target = raw[i+3:]
+	if j := strings.IndexByte(target, '?'); j >= 0 {
+		query = target[j+1:]
+		target = target[:j]
+	}
+	if target == "" {
+		return "", "", "", fmt.Errorf("store: backend URL %q has an empty target", raw)
+	}
+	return scheme, target, query, nil
+}
+
+// applyQuery folds URL query parameters into opts. Recognized keys:
+// part_size, put_workers, put_attempts.
+func applyQuery(query string, opts Options) (Options, error) {
+	if query == "" {
+		return opts, nil
+	}
+	for _, kv := range strings.Split(query, "&") {
+		if kv == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		switch k {
+		case "part_size":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return opts, fmt.Errorf("store: part_size %q: %w", v, err)
+			}
+			opts.PartSize = n
+		case "put_workers":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return opts, fmt.Errorf("store: put_workers %q: %w", v, err)
+			}
+			opts.PutWorkers = n
+		case "put_attempts":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return opts, fmt.Errorf("store: put_attempts %q: %w", v, err)
+			}
+			opts.PutAttempts = n
+		default:
+			return opts, fmt.Errorf("store: unknown backend URL parameter %q", k)
+		}
+	}
+	return opts, nil
+}
+
+// Open builds the backend a URL names, with default options.
+func Open(rawURL string) (Backend, error) { return OpenWith(rawURL, Options{}) }
+
+// OpenWith builds the backend a URL names. URL query parameters override
+// opts; unknown schemes fail with the registered alternatives listed.
+func OpenWith(rawURL string, opts Options) (Backend, error) {
+	scheme, target, query, err := splitURL(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	opts, err = applyQuery(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	registryMu.RLock()
+	open := registry[scheme]
+	registryMu.RUnlock()
+	if open == nil {
+		return nil, fmt.Errorf("store: unknown backend scheme %q (registered: %s)",
+			scheme, strings.Join(Schemes(), ", "))
+	}
+	return open(target, opts)
+}
+
+// ValidateURL checks a backend URL without opening it — scheme registered,
+// target present, query parameters well-formed. Config validation uses it
+// so a bad persist_backend fails at load time, not at first flush.
+func ValidateURL(rawURL string) error {
+	scheme, _, query, err := splitURL(rawURL)
+	if err != nil {
+		return err
+	}
+	registryMu.RLock()
+	_, ok := registry[scheme]
+	registryMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("store: unknown backend scheme %q (registered: %s)",
+			scheme, strings.Join(Schemes(), ", "))
+	}
+	opts, err := applyQuery(query, Options{})
+	if err != nil {
+		return err
+	}
+	return opts.validate()
+}
+
+// tmpCounter is process-wide: several backend instances routinely share one
+// root directory (one instance per dedicated core over the same store), so
+// temp names must be unique across instances, and the pid keeps separate
+// processes on a shared filesystem apart too.
+var tmpCounter atomic.Int64
+
+// tmpName returns a temp-file name unique across every backend instance of
+// this process.
+func tmpName() string {
+	return fmt.Sprintf("%d-%d", os.Getpid(), tmpCounter.Add(1))
+}
+
+// writeFileSync is os.WriteFile plus an fsync before close, so bytes a
+// subsequent rename publishes are durable, not merely buffered.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// validName vets a blob or object name: relative, already clean, no "..",
+// and no hidden ("."-prefixed) path components, which are reserved for
+// backend-internal temporaries.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty name")
+	}
+	if strings.HasPrefix(name, "/") || strings.Contains(name, "\\") {
+		return fmt.Errorf("store: invalid name %q", name)
+	}
+	if path.Clean(name) != name {
+		return fmt.Errorf("store: invalid name %q (not a clean relative path)", name)
+	}
+	for _, comp := range strings.Split(name, "/") {
+		if comp == ".." || strings.HasPrefix(comp, ".") {
+			return fmt.Errorf("store: invalid name %q (hidden or parent component)", name)
+		}
+	}
+	return nil
+}
