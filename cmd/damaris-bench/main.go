@@ -33,7 +33,10 @@ func main() {
 		benchOut   = flag.String("bench-out", "BENCH_persist.json", "output path for -persist-bench")
 		storeBench = flag.Bool("store-bench", false,
 			"benchmark the storage backends (file + content-addressed object store) and emit a JSON report with determinism checks")
-		storeOut = flag.String("store-out", "BENCH_store.json", "output path for -store-bench")
+		storeOut       = flag.String("store-out", "BENCH_store.json", "output path for -store-bench")
+		aggregateBench = flag.Bool("aggregate-bench", false,
+			"benchmark the aggregation layer (merge allocs, arrival-order determinism, off-mode store parity, platform throughput curves) and emit a JSON report")
+		aggregateOut = flag.String("aggregate-out", "BENCH_aggregate.json", "output path for -aggregate-bench")
 	)
 	flag.Parse()
 
@@ -52,6 +55,14 @@ func main() {
 
 	if *storeBench {
 		if err := runStoreBench(*storeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *aggregateBench {
+		if err := runAggregateBench(*aggregateOut, *storeOut); err != nil {
 			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
 			os.Exit(1)
 		}

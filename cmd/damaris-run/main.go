@@ -52,12 +52,17 @@ func main() {
 			"object-store multipart split in bytes (0 = backend default)")
 		storePutWorkers = flag.Int("store-put-workers", 0,
 			"bounded parallel part-upload pool size (0 = backend default)")
+		aggregate = flag.String("aggregate", "off",
+			"aggregation tier in front of the storage backend: off (one DSF stream per dedicated core) | core (one object per node per epoch) | node (Damaris 2: one object per epoch via a dedicated aggregator node)")
+		aggregateRing = flag.Int("aggregate-ring", 0,
+			"fan-in ring depth between sibling dedicated cores and the aggregation leader (0 = default)")
 	)
 	flag.Parse()
 
 	if err := run(*ranks, *coresPerNode, *steps, *outputEvery, *outDir,
 		*backend, *compress, *bufMB, *allocator, *persistWork, *persistQueue,
-		*encodeWork, *gzipLevel, *persistBackend, *storePartSize, *storePutWorkers); err != nil {
+		*encodeWork, *gzipLevel, *persistBackend, *storePartSize, *storePutWorkers,
+		*aggregate, *aggregateRing); err != nil {
 		fmt.Fprintln(os.Stderr, "damaris-run:", err)
 		os.Exit(1)
 	}
@@ -66,7 +71,7 @@ func main() {
 func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	compress bool, bufMB int64, allocator string, persistWork, persistQueue,
 	encodeWork, gzipLevel int, persistBackend string, storePartSize int64,
-	storePutWorkers int) error {
+	storePutWorkers int, aggregate string, aggregateRing int) error {
 	if ranks%coresPerNode != 0 {
 		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
 	}
@@ -111,6 +116,8 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		cfg.PersistBackend = persistBackend
 		cfg.StorePartSize = storePartSize
 		cfg.StorePutWorkers = storePutWorkers
+		cfg.AggregateMode = aggregate
+		cfg.AggregateRingDepth = aggregateRing
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
@@ -200,6 +207,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 			ws.N, ws.Mean, stats.Mean(serverSpare), bytesWritten)
 		reportPipeline(pipeStats)
 		reportStore(pipeStats, sharedStore)
+		reportAggregate(pipeStats)
 	}
 	if sharedStore != nil {
 		fmt.Printf("output in backend %s\n", persistBackend)
@@ -291,6 +299,49 @@ func reportStore(ps []core.PipelineStats, shared store.Backend) {
 		}
 		fmt.Printf("store[%s]: dedupe %d hits (%d bytes, %.0f%% of part uploads); %d retries, %d failures; max %d parts in flight\n",
 			scheme, dedupe, dedupeBytes, 100*rate, retries, failures, maxFlight)
+	}
+}
+
+// reportAggregate prints the aggregation tier's metrics, summed over the
+// node leaders (siblings report zero, so every node counts once). Silent
+// when aggregation is off.
+func reportAggregate(ps []core.PipelineStats) {
+	var epochs, empty, contribs, chunks, bytes, reelect, forwarded int64
+	var ringMax int
+	mode := ""
+	leaders := 0
+	for _, s := range ps {
+		if s.Aggregate.Members == 0 {
+			continue
+		}
+		leaders++
+		mode = s.Aggregate.Mode
+		epochs += s.Aggregate.Epochs
+		empty += s.Aggregate.EmptyEpochs
+		contribs += s.Aggregate.Contributions
+		chunks += s.Aggregate.MergedChunks
+		bytes += s.Aggregate.MergedBytes
+		reelect += s.Aggregate.Reelections
+		if s.Aggregate.RingMax > ringMax {
+			ringMax = s.Aggregate.RingMax
+		}
+		forwarded += s.AggregateForwarded
+	}
+	if leaders == 0 {
+		return
+	}
+	fmt.Printf("aggregate[%s]: %d node leaders; %d merged epochs (%d chunks, %d bytes) from %d contributions; ring max %d; %d re-elections\n",
+		mode, leaders, epochs, chunks, bytes, contribs, ringMax, reelect)
+	if empty > 0 {
+		fmt.Printf("aggregate[%s]: %d empty epochs acked without an object\n", mode, empty)
+	}
+	for _, s := range ps {
+		if s.AggregateGlobal.Members == 0 {
+			continue
+		}
+		g := s.AggregateGlobal
+		fmt.Printf("aggregate[node]: global tier merged %d epochs (%d chunks, %d bytes) from %d nodes; %d epochs forwarded over the interconnect\n",
+			g.Epochs, g.MergedChunks, g.MergedBytes, g.Members, forwarded)
 	}
 }
 

@@ -9,12 +9,16 @@
 //	dsf-inspect -stats file.dsf               # per-chunk min/max/mean for float data
 //	dsf-inspect -store obj:///data/objects    # list + inspect every committed object
 //	dsf-inspect -store obj://dir -verify name # verify one object of a backend
+//	dsf-inspect -store obj://dir -gc          # mark-and-sweep unreferenced parts
+//	dsf-inspect -store obj://dir -gc -gc-dry-run  # report only
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"damaris/internal/dsf"
 	"damaris/internal/layout"
@@ -27,14 +31,29 @@ func main() {
 		verify = flag.Bool("verify", false, "verify every chunk's checksum and decodability")
 		stat   = flag.Bool("stats", false, "print min/max/mean of floating-point chunks")
 		st     = flag.String("store", "", "storage backend URL; arguments become object names (none = all committed objects)")
+		gc     = flag.Bool("gc", false, "mark-and-sweep the backend: reclaim content-addressed parts no committed manifest references (requires -store)")
+		gcDry  = flag.Bool("gc-dry-run", false, "with -gc, report what would be reclaimed without deleting")
+		gcAge  = flag.Duration("gc-min-age", store.DefaultGCMinAge,
+			"with -gc, minimum age of unreferenced data before it may be reclaimed; in-flight uploads younger than this are retry seeds, not garbage (0 reclaims immediately — only safe when no writer can be live)")
 	)
 	flag.Parse()
 	if *st == "" && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dsf-inspect [-verify] [-stats] file.dsf... | -store URL [object...]")
+		fmt.Fprintln(os.Stderr, "usage: dsf-inspect [-verify] [-stats] file.dsf... | -store URL [-gc [-gc-dry-run]] [object...]")
+		os.Exit(2)
+	}
+	if *gc && *st == "" {
+		fmt.Fprintln(os.Stderr, "dsf-inspect: -gc requires -store")
 		os.Exit(2)
 	}
 	exit := 0
 	if *st != "" {
+		if *gc {
+			if err := runGC(*st, *gcDry, *gcAge); err != nil {
+				fmt.Fprintf(os.Stderr, "dsf-inspect: %s: %v\n", *st, err)
+				exit = 1
+			}
+			os.Exit(exit)
+		}
 		if err := inspectStore(*st, flag.Args(), *verify, *stat); err != nil {
 			fmt.Fprintf(os.Stderr, "dsf-inspect: %s: %v\n", *st, err)
 			exit = 1
@@ -48,6 +67,38 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// runGC opens a backend and runs one mark-and-sweep pass over it.
+func runGC(url string, dryRun bool, minAge time.Duration) error {
+	window := fmt.Sprintf("within the %s grace window", minAge)
+	if minAge <= 0 {
+		// An operator's explicit 0 means "now"; the library's zero value
+		// means "default grace window". Translate at the CLI boundary.
+		minAge = -1
+		window = "(no grace window applied)"
+	}
+	b, err := store.Open(url)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	col, ok := b.(store.Collector)
+	if !ok {
+		return fmt.Errorf("backend does not support garbage collection (only content-addressed stores accumulate unreferenced parts)")
+	}
+	rep, err := col.GC(store.GCOptions{DryRun: dryRun, MinAge: minAge})
+	if err != nil {
+		return err
+	}
+	verb := "reclaimed"
+	if dryRun {
+		verb = "would reclaim"
+	}
+	fmt.Printf("%s: marked %d manifests referencing %d parts\n", url, rep.Manifests, rep.LiveParts)
+	fmt.Printf("%s: %s %d unreferenced parts (%d bytes) and %d stale temps; kept %d %s\n",
+		url, verb, rep.ReclaimedBlobs, rep.ReclaimedBytes, rep.ReclaimedTemps, rep.KeptYoung, window)
+	return nil
 }
 
 // inspectStore opens a storage backend and inspects the named objects (all
@@ -120,8 +171,21 @@ func inspect(path string, verify, stat bool) error {
 // inspectReader prints one opened DSF stream, wherever its bytes live.
 func inspectReader(r *dsf.Reader, verify, stat bool) error {
 	attrs := r.Attributes()
-	for k, v := range attrs {
-		fmt.Printf("  attr %s = %q\n", k, v)
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  attr %s = %q\n", k, attrs[k])
+	}
+	// Aggregated objects carry their fan-in provenance: the dedicated cores
+	// (and, for the cross-node tier, the nodes) whose data was merged in.
+	if v, ok := attrs["servers"]; ok {
+		fmt.Printf("  contributing servers: %s\n", v)
+	}
+	if v, ok := attrs["nodes"]; ok {
+		fmt.Printf("  contributing nodes: %s\n", v)
 	}
 	var raw, stored int64
 	for i, m := range r.Chunks() {

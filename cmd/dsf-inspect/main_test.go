@@ -366,3 +366,114 @@ func TestInspectStoreBackends(t *testing.T) {
 		t.Error("corrupted part should fail verification")
 	}
 }
+
+// Aggregated per-node objects must surface their fan-in provenance: the
+// contributing servers (tier 1) and nodes (tier 2) recorded by the
+// aggregation leader.
+func TestInspectListsContributingServers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node0000_it000000.dsf")
+	w, err := dsf.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetAttribute("writer", "damaris-aggregator")
+	w.SetAttribute("aggregate", "core")
+	w.SetAttribute("servers", "2,3")
+	lay := layout.MustNew(layout.Float32, 8)
+	if err := w.WriteChunk(dsf.ChunkMeta{Name: "theta", Layout: lay},
+		mpi.Float32sToBytes(goldenField(1, 8))); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := inspect(path, false, false); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "contributing servers: 2,3") {
+		t.Errorf("inspect output lacks contributor line:\n%s", out)
+	}
+}
+
+// The -gc path end to end: a crashed upload's parts survive the grace
+// window, are reported by a dry run, and an aged force pass reclaims them
+// while the committed object stays restorable.
+func TestGCCommand(t *testing.T) {
+	dir := t.TempDir()
+	ob, err := store.NewObjStore(dir, store.Options{PartSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGoldenToBackend(t, ob, "golden.dsf")
+	// Abandoned upload leaves unreferenced parts.
+	ow, err := ob.Create("abandoned.dsf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 4096)
+	for i := range junk {
+		junk[i] = byte(i % 251) // period coprime to the part size: distinct parts
+	}
+	if _, err := ow.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := ow.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grace window: nothing reclaimed.
+	if err := runGC("obj://"+dir, false, store.DefaultGCMinAge); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ob.GC(store.GCOptions{DryRun: true, MinAge: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReclaimedBlobs != 2 {
+		t.Fatalf("expected 2 reclaimable blobs after grace-window pass, got %+v", rep)
+	}
+
+	// Force pass (negative min age): the abandoned parts go.
+	if err := runGC("obj://"+dir, false, -1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ob.GC(store.GCOptions{DryRun: true, MinAge: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ReclaimedBlobs != 0 {
+		t.Errorf("force GC left %d reclaimable blobs", after.ReclaimedBlobs)
+	}
+	// The committed object still inspects and verifies.
+	if err := inspectStore("obj://"+dir, []string{"golden.dsf"}, true, false); err != nil {
+		t.Errorf("committed object broken after GC: %v", err)
+	}
+	// File backends cannot GC.
+	if err := runGC("file://"+t.TempDir(), false, 0); err == nil {
+		t.Error("file backend GC should report unsupported")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}

@@ -1,0 +1,311 @@
+package aggregate
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"damaris/internal/layout"
+	"damaris/internal/metadata"
+	"damaris/internal/mpi"
+)
+
+// EpochWriter is the storage-facing seam the aggregator commits merged
+// epochs through. core.DSFPersister implements it: one call writes one DSF
+// object (atomically published by the backend) carrying the given entries
+// and file-level attributes.
+type EpochWriter interface {
+	PersistAsWith(name string, entries []*metadata.Entry, attrs map[string]string) error
+}
+
+// StoreSink commits merged epochs as DSF objects through an EpochWriter —
+// the terminal tier of both aggregation modes.
+type StoreSink struct {
+	// Writer persists each merged epoch.
+	Writer EpochWriter
+	// ObjectName names the per-epoch object (e.g. "node0003_it000005.dsf").
+	ObjectName func(epoch int64) string
+	// MemberAttr is the attribute key listing the contributing member ids
+	// ("servers" for tier 1, "nodes" for tier 2) — how dsf-inspect shows
+	// which ranks fed a merged object.
+	MemberAttr string
+	// Mode is recorded as the "aggregate" attribute ("core" or "node").
+	Mode string
+}
+
+// CommitEpoch writes one merged epoch as a single DSF object. An epoch with
+// no data commits nothing (and is still acknowledged): the one-object-per-
+// epoch invariant is about data-bearing epochs, not placeholders.
+func (s *StoreSink) CommitEpoch(epoch int64, members []int, entries []*metadata.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ids[i] = strconv.Itoa(m)
+	}
+	attrs := map[string]string{
+		"writer":     "damaris-aggregator",
+		"aggregate":  s.Mode,
+		s.MemberAttr: strings.Join(ids, ","),
+	}
+	return s.Writer.PersistAsWith(s.ObjectName(epoch), entries, attrs)
+}
+
+// Close is a no-op: the writer's backend lifecycle belongs to the server
+// that opened it.
+func (s *StoreSink) Close() error { return nil }
+
+// LocalForward is the node-level sink of the aggregator node itself in
+// "node" mode: its merged epochs join the global aggregator in-process,
+// without a round trip through the message runtime.
+type LocalForward struct {
+	// Global is the cross-node aggregator hosted on this rank.
+	Global *Aggregator
+	// Member is this node's member id (its node index).
+	Member int
+}
+
+// CommitEpoch submits the node's merged epoch to the global aggregator and
+// waits for the globally merged object to be durable — the ack that then
+// propagates back down to this node's dedicated cores.
+func (f *LocalForward) CommitEpoch(epoch int64, _ []int, entries []*metadata.Entry) error {
+	return <-f.Global.Submit(f.Member, epoch, entries)
+}
+
+// Close declares the node done to the global aggregator.
+func (f *LocalForward) Close() error {
+	f.Global.MemberDone(f.Member)
+	return nil
+}
+
+// User tags on the aggregation communicators. The fan and ack channels are
+// dedicated communicators (mpi.Comm.Dup of the leader group), so these tags
+// cannot collide with anything else.
+const (
+	tagFan = 1
+	tagAck = 2
+)
+
+// wireEntry is the serialized form of one dataset crossing nodes.
+type wireEntry struct {
+	Name        string
+	Iteration   int64
+	Source      int
+	Layout      []byte // layout binary descriptor
+	GlobalStart []int64
+	GlobalCount []int64
+	Data        []byte
+}
+
+// frame is one fan-in message from a node leader to the global aggregator:
+// either a merged epoch or the leader's done marker.
+type frame struct {
+	Member  int
+	Epoch   int64
+	Done    bool
+	Entries []wireEntry
+}
+
+// ackFrame is the global aggregator's durability reply for one epoch.
+type ackFrame struct {
+	Epoch int64
+	Err   string
+}
+
+// encodeFrame serializes a fan-in frame. The payload bytes are copied into
+// the encoding, so the sender's shared-memory chunks can stay pinned on the
+// source node while the aggregator node works on its own copy.
+func encodeFrame(f frame) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&f); err != nil {
+		return nil, fmt.Errorf("aggregate: encode frame: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeFrame(b []byte) (frame, error) {
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
+		return frame{}, fmt.Errorf("aggregate: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// entriesToWire serializes merged entries for cross-node forwarding.
+func entriesToWire(entries []*metadata.Entry) []wireEntry {
+	out := make([]wireEntry, len(entries))
+	for i, e := range entries {
+		out[i] = wireEntry{
+			Name:        e.Key.Name,
+			Iteration:   e.Key.Iteration,
+			Source:      e.Key.Source,
+			Layout:      e.Layout.Marshal(),
+			GlobalStart: e.Global.Start,
+			GlobalCount: e.Global.Count,
+			Data:        e.Bytes(),
+		}
+	}
+	return out
+}
+
+// wireToEntries rebuilds inline entries from a decoded frame.
+func wireToEntries(ws []wireEntry) ([]*metadata.Entry, error) {
+	out := make([]*metadata.Entry, len(ws))
+	for i, w := range ws {
+		l, err := layout.Unmarshal(w.Layout)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: entry %q: %w", w.Name, err)
+		}
+		out[i] = &metadata.Entry{
+			Key:    metadata.Key{Name: w.Name, Iteration: w.Iteration, Source: w.Source},
+			Layout: l,
+			Inline: w.Data,
+			Global: layout.Block{Start: w.GlobalStart, Count: w.GlobalCount},
+		}
+	}
+	return out, nil
+}
+
+// Forwarder is the node-level sink of a non-aggregator node in "node" mode:
+// each merged epoch is serialized and sent to the global aggregator host
+// over the fan communicator, then the forwarder blocks until the host acks
+// the globally merged epoch durable. Both communicators are owned
+// exclusively by the node's leader goroutine (mpi handles are not
+// goroutine-safe), which Deploy guarantees by Dup-ing them for this purpose.
+type Forwarder struct {
+	// Fan carries contributions to the host; Ack carries durability replies
+	// back. Dst is the host's rank on both.
+	Fan, Ack *mpi.Comm
+	Dst      int
+	// Member is this node's member id (its node index).
+	Member int
+
+	forwarded atomic.Int64
+}
+
+// CommitEpoch forwards one merged epoch and waits for the global ack.
+func (f *Forwarder) CommitEpoch(epoch int64, _ []int, entries []*metadata.Entry) error {
+	b, err := encodeFrame(frame{Member: f.Member, Epoch: epoch, Entries: entriesToWire(entries)})
+	if err != nil {
+		return err
+	}
+	f.Fan.SendBytes(f.Dst, tagFan, b)
+	f.forwarded.Add(1)
+	ab := f.Ack.RecvBytes(f.Dst, tagAck)
+	var ack ackFrame
+	if err := gob.NewDecoder(bytes.NewReader(ab)).Decode(&ack); err != nil {
+		return fmt.Errorf("aggregate: decode ack: %w", err)
+	}
+	// Err before Epoch: a receiver abort acks with Epoch -1 and the root
+	// cause in Err, which must not be masked by the epoch mismatch.
+	if ack.Err != "" {
+		return fmt.Errorf("aggregate: global commit epoch %d: %s", epoch, ack.Err)
+	}
+	if ack.Epoch != epoch {
+		return fmt.Errorf("aggregate: ack for epoch %d, want %d", ack.Epoch, epoch)
+	}
+	return nil
+}
+
+// Forwarded returns the number of epochs sent to the global tier.
+func (f *Forwarder) Forwarded() int64 { return f.forwarded.Load() }
+
+// Close sends the done marker so the global receiver stops expecting this
+// node.
+func (f *Forwarder) Close() error {
+	b, err := encodeFrame(frame{Member: f.Member, Done: true})
+	if err != nil {
+		return err
+	}
+	f.Fan.SendBytes(f.Dst, tagFan, b)
+	return nil
+}
+
+// RunReceiver is the global aggregator host's fan-in loop: it owns the
+// host's fan and ack communicator handles and drives lockstep rounds — one
+// frame per remote node leader per round, all carrying the same epoch
+// (node leaders emit epochs in the same ascending order, since every client
+// group runs the same iteration sequence). Each round's contributions are
+// submitted to the global aggregator; once the merged epoch is durable the
+// acks fan back out. Returns when every remote leader has sent its done
+// marker. Sources maps fan-comm ranks to member (node) ids.
+func RunReceiver(fan, ack *mpi.Comm, sources map[int]int, global *Aggregator) error {
+	active := make([]int, 0, len(sources))
+	for src := range sources {
+		active = append(active, src)
+	}
+	sort.Ints(active)
+	// abort fails every still-active forwarder (error acks, so their
+	// CommitEpoch calls return instead of blocking forever on a reply that
+	// would never come) and declares their members done (so the global
+	// tier can drain at shutdown instead of waiting on contributions that
+	// will never arrive), then surfaces the error.
+	abort := func(err error) error {
+		for _, src := range active {
+			sendAck(ack, src, ackFrame{Epoch: -1, Err: err.Error()})
+			global.MemberDone(sources[src])
+		}
+		return err
+	}
+	for len(active) > 0 {
+		type sub struct {
+			src   int
+			epoch int64
+			ch    <-chan error
+		}
+		var subs []sub
+		var epoch int64
+		var remaining []int
+		for _, src := range active {
+			f, err := decodeFrame(fan.RecvBytes(src, tagFan))
+			if err != nil {
+				return abort(err)
+			}
+			if f.Done {
+				global.MemberDone(sources[src])
+				continue
+			}
+			if len(subs) > 0 && f.Epoch != epoch {
+				return abort(fmt.Errorf("aggregate: node leaders diverged: epoch %d from rank %d, epoch %d expected",
+					f.Epoch, src, epoch))
+			}
+			epoch = f.Epoch
+			entries, err := wireToEntries(f.Entries)
+			if err != nil {
+				return abort(err)
+			}
+			subs = append(subs, sub{src: src, epoch: f.Epoch,
+				ch: global.Submit(sources[src], f.Epoch, entries)})
+			remaining = append(remaining, src)
+		}
+		active = remaining
+		// Every submission of the round resolves together (same epoch): wait
+		// them all, then ack each sender so it can release its node's chunks.
+		for _, s := range subs {
+			err := <-s.ch
+			af := ackFrame{Epoch: s.epoch}
+			if err != nil {
+				af.Err = err.Error()
+			}
+			sendAck(ack, s.src, af)
+		}
+	}
+	return nil
+}
+
+// sendAck delivers one durability reply. Encoding a flat struct cannot
+// fail in practice; if it somehow does, the error is folded into a plain
+// string ack so the remote side still unblocks.
+func sendAck(ack *mpi.Comm, src int, af ackFrame) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&af); err != nil {
+		buf.Reset()
+		_ = gob.NewEncoder(&buf).Encode(&ackFrame{Epoch: af.Epoch, Err: "encode ack: " + err.Error()})
+	}
+	ack.SendBytes(src, tagAck, buf.Bytes())
+}

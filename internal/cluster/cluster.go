@@ -73,6 +73,20 @@ type Platform struct {
 	// than thousands of small interleaved ones, so it sits well below
 	// StragglerSigma.
 	DedicatedStragglerSigma float64
+	// AggregatorNICBandwidth is the ingest bandwidth of a dedicated
+	// aggregator node (Damaris 2's cross-node tier): every compute node's
+	// merged stream funnels through it before hitting storage, so it is the
+	// fan-in contention point of aggregate mode "node". 0 falls back to
+	// NICBandwidth (aggregator nodes are ordinary nodes of the platform).
+	AggregatorNICBandwidth float64
+}
+
+// AggregatorIngest returns the effective aggregator-node ingest bandwidth.
+func (p Platform) AggregatorIngest() float64 {
+	if p.AggregatorNICBandwidth > 0 {
+		return p.AggregatorNICBandwidth
+	}
+	return p.NICBandwidth
 }
 
 // Validate checks the platform definition.
@@ -140,6 +154,7 @@ func Kraken() Platform {
 		// stripes: this cap is what slot scheduling lifts (9.7 -> 13.1 GB/s).
 		NodeStreamCap:           70e6,
 		DedicatedStragglerSigma: 0.25,
+		AggregatorNICBandwidth:  1.6e9, // aggregator nodes are ordinary XT5 nodes
 	}
 }
 
@@ -169,6 +184,7 @@ func Grid5000() Platform {
 		GzipRatio:               1.87,
 		NodeStreamCap:           1.4e8, // one PVFS client's sustained stream
 		DedicatedStragglerSigma: 0.25,
+		AggregatorNICBandwidth:  2.5e9, // parapluie IB nodes double as aggregators
 	}
 }
 
@@ -196,6 +212,7 @@ func BluePrint() Platform {
 		GzipRatio:               1.87,
 		NodeStreamCap:           0,
 		DedicatedStragglerSigma: 0.25,
+		AggregatorNICBandwidth:  1.2e9,
 	}
 }
 

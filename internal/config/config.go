@@ -60,6 +60,25 @@
 //	    bytes (0 = backend default).
 //	  - put_workers (StorePutWorkers) bounds the parallel part-upload pool
 //	    (0 = backend default).
+//
+// # Aggregation
+//
+// The cross-core / cross-node aggregation layer in front of the storage
+// backend (one DSF object per node — or per dedicated aggregator node — per
+// flush epoch) is selected by an optional <aggregate> element:
+//
+//	<aggregate mode="core" ring="8"/>
+//
+//	  - mode (AggregateMode) selects the tier: "off" (or absent — one DSF
+//	    stream per dedicated core, the pre-aggregation behavior,
+//	    byte-identical on disk), "core" (the node's dedicated cores fan in to
+//	    a deterministically elected leader that commits one object per node
+//	    per epoch), or "node" (Damaris 2: node leaders additionally forward
+//	    merged epochs to a dedicated aggregator node that commits one object
+//	    per epoch for the whole node group).
+//	  - ring (AggregateRingDepth) bounds the in-process fan-in ring between
+//	    sibling dedicated cores and the leader — the aggregation layer's
+//	    backpressure point (0 = default).
 package config
 
 import (
@@ -110,6 +129,14 @@ type Config struct {
 	// StorePutWorkers bounds the object store's parallel part-upload pool
 	// (0 = backend default).
 	StorePutWorkers int
+	// AggregateMode selects the aggregation tier in front of the storage
+	// backend: "" or "off" (one DSF stream per dedicated core), "core" (one
+	// merged object per node per flush epoch) or "node" (Damaris 2: one
+	// object per epoch committed by a dedicated aggregator node).
+	AggregateMode string
+	// AggregateRingDepth bounds the in-process fan-in ring feeding the
+	// aggregation leader (0 = default).
+	AggregateRingDepth int
 	// Layouts maps layout names to normalized (C-order) layouts.
 	Layouts map[string]layout.Layout
 	// Variables maps variable names to their declarations.
@@ -141,6 +168,7 @@ type xmlFile struct {
 	Buffer   xmlBuffer     `xml:"buffer"`
 	Pipeline *xmlPipeline  `xml:"pipeline"`
 	Store    *xmlStore     `xml:"store"`
+	Aggr     *xmlAggregate `xml:"aggregate"`
 	Layouts  []xmlLayout   `xml:"layout"`
 	Vars     []xmlVariable `xml:"variable"`
 	Events   []xmlEvent    `xml:"event"`
@@ -169,6 +197,13 @@ type xmlStore struct {
 	Backend    string `xml:"backend,attr"`
 	PartSize   string `xml:"part_size,attr"`
 	PutWorkers string `xml:"put_workers,attr"`
+}
+
+// xmlAggregate selects the aggregation tier; ring is a string so absent
+// (default) is distinguishable from an explicit "0".
+type xmlAggregate struct {
+	Mode string `xml:"mode,attr"`
+	Ring string `xml:"ring,attr"`
 }
 
 type xmlLayout struct {
@@ -285,6 +320,18 @@ func build(f *xmlFile) (*Config, error) {
 				return nil, fmt.Errorf("config: gzip level %q: %w", f.Pipeline.GzipLevel, err)
 			}
 			c.PersistGzipLevel = l
+		}
+	}
+
+	// Aggregation tier selection.
+	if f.Aggr != nil {
+		c.AggregateMode = f.Aggr.Mode
+		if f.Aggr.Ring != "" {
+			n, err := strconv.Atoi(f.Aggr.Ring)
+			if err != nil {
+				return nil, fmt.Errorf("config: aggregate ring depth %q: %w", f.Aggr.Ring, err)
+			}
+			c.AggregateRingDepth = n
 		}
 	}
 
@@ -425,7 +472,20 @@ func (c *Config) Validate() error {
 	if c.StorePutWorkers < 0 {
 		return fmt.Errorf("config: negative store put worker count %d", c.StorePutWorkers)
 	}
+	switch c.AggregateMode {
+	case "", "off", "core", "node":
+	default:
+		return fmt.Errorf("config: unknown aggregate mode %q (want off, core or node)", c.AggregateMode)
+	}
+	if c.AggregateRingDepth < 0 {
+		return fmt.Errorf("config: negative aggregate ring depth %d", c.AggregateRingDepth)
+	}
 	return nil
+}
+
+// AggregateEnabled reports whether an aggregation tier is selected.
+func (c *Config) AggregateEnabled() bool {
+	return c.AggregateMode == "core" || c.AggregateMode == "node"
 }
 
 // Variable returns the declaration of a named variable.

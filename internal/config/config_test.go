@@ -379,3 +379,54 @@ func TestValidateProgrammaticConfig(t *testing.T) {
 		t.Errorf("file backend: %v", err)
 	}
 }
+
+func TestAggregateElement(t *testing.T) {
+	c, err := ParseString(`<simulation><aggregate mode="core" ring="4"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AggregateMode != "core" || c.AggregateRingDepth != 4 {
+		t.Errorf("aggregate = %q ring=%d", c.AggregateMode, c.AggregateRingDepth)
+	}
+	if !c.AggregateEnabled() {
+		t.Error("mode core must report enabled")
+	}
+	// Absent element keeps aggregation off with the default ring depth.
+	c, err = ParseString(`<simulation/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AggregateMode != "" || c.AggregateRingDepth != 0 || c.AggregateEnabled() {
+		t.Errorf("defaults = %q ring=%d enabled=%v", c.AggregateMode, c.AggregateRingDepth, c.AggregateEnabled())
+	}
+	// An explicit "off" parses and stays disabled.
+	c, err = ParseString(`<simulation><aggregate mode="off"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AggregateEnabled() {
+		t.Error("mode off must report disabled")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	cases := map[string]string{
+		"unknown mode":     `<simulation><aggregate mode="rack"/></simulation>`,
+		"negative ring":    `<simulation><aggregate mode="core" ring="-1"/></simulation>`,
+		"non-numeric ring": `<simulation><aggregate mode="core" ring="deep"/></simulation>`,
+	}
+	for name, xml := range cases {
+		if _, err := ParseString(xml); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+	// Programmatic mutation is held to the same rules.
+	c, err := ParseString(`<simulation/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AggregateMode = "rack"
+	if err := c.Validate(); err == nil {
+		t.Error("programmatic unknown aggregate mode should fail Validate")
+	}
+}

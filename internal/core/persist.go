@@ -99,7 +99,7 @@ func (p *DSFPersister) Persist(iteration int64, entries []*metadata.Entry) error
 		return nil
 	}
 	name := fmt.Sprintf("node%04d_srv%04d_it%06d.dsf", p.Node, p.ServerID, iteration)
-	return p.writeFile(name, entries)
+	return p.writeFile(name, entries, nil)
 }
 
 // PersistAs writes entries into one DSF object under a caller-chosen name
@@ -110,7 +110,19 @@ func (p *DSFPersister) PersistAs(name string, entries []*metadata.Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	return p.writeFile(name, entries)
+	return p.writeFile(name, entries, nil)
+}
+
+// PersistAsWith is PersistAs plus caller-chosen file-level attributes
+// (overriding the defaults on key collision). It implements
+// aggregate.EpochWriter: the aggregation leader commits each merged epoch
+// through this one call, which is what keeps the merged path on the exact
+// same backend protocol (stream, then atomic publish) as the per-core path.
+func (p *DSFPersister) PersistAsWith(name string, entries []*metadata.Entry, attrs map[string]string) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	return p.writeFile(name, entries, attrs)
 }
 
 // PersistBatch writes the entries of several iterations into a single DSF
@@ -137,7 +149,7 @@ func (p *DSFPersister) PersistBatch(batch []IterationBatch) error {
 		return nil
 	}
 	name := fmt.Sprintf("node%04d_srv%04d_it%06d-%06d.dsf", p.Node, p.ServerID, lo, hi)
-	return p.writeFile(name, entries)
+	return p.writeFile(name, entries, nil)
 }
 
 // resolveBackend returns the backend DSF streams go to, opening the legacy
@@ -179,7 +191,7 @@ func (p *DSFPersister) StoreStats() store.Stats {
 	return b.Stats()
 }
 
-func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry) error {
+func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry, attrs map[string]string) error {
 	b, implicitFile, err := p.resolveBackend()
 	if err != nil {
 		return err
@@ -199,6 +211,9 @@ func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry) error {
 	}
 	w.SetAttribute("writer", "damaris-dedicated-core")
 	w.SetAttribute("node", fmt.Sprint(p.Node))
+	for k, v := range attrs {
+		w.SetAttribute(k, v)
+	}
 	metas := make([]dsf.ChunkMeta, len(entries))
 	datas := make([][]byte, len(entries))
 	for i, e := range entries {

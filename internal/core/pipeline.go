@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"damaris/internal/aggregate"
 	"damaris/internal/dsf"
 	"damaris/internal/metadata"
 	"damaris/internal/stats"
@@ -294,6 +295,16 @@ type PipelineStats struct {
 	// (zero when the persister exposes none). Filled by
 	// Server.PipelineStats, not by the pipeline itself.
 	Store store.Stats
+	// Aggregate snapshots the node-level aggregation tier. Only the node's
+	// leader server reports it (siblings report zero), so summing across
+	// servers counts each node exactly once. Filled by Server.PipelineStats.
+	Aggregate aggregate.Stats
+	// AggregateGlobal snapshots the cross-node tier on the aggregator host
+	// ("node" mode); zero everywhere else.
+	AggregateGlobal aggregate.Stats
+	// AggregateForwarded counts epochs this node's leader forwarded to the
+	// dedicated aggregator node ("node" mode, non-host leaders).
+	AggregateForwarded int64
 }
 
 // snapshot captures the pipeline metrics at a point in time.

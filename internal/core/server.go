@@ -45,6 +45,7 @@ type Server struct {
 	pipe      *pipeline       // nil in the synchronous baseline
 	encPool   *dsf.EncodePool // nil when encode_workers is 0
 	ownStore  store.Backend   // backend this server opened (and must close)
+	agg       *serverAgg      // aggregation-layer state; nil when disabled
 
 	closeOnce sync.Once
 
@@ -69,7 +70,7 @@ type segmentCloser interface {
 }
 
 func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmentCloser,
-	fc *flow, worldRank, node, group int, opts Options) (*Server, error) {
+	fc *flow, worldRank, node, group int, opts Options, sagg *serverAgg) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		eng:       eng,
@@ -82,7 +83,17 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		persister: opts.Persister,
 		scheduler: opts.Scheduler,
 	}
-	if s.persister == nil {
+	if sagg != nil {
+		// Aggregation layer on: this server persists through its member
+		// handle — Persist returns only once the node's (or node group's)
+		// merged object is durable, so chunk release and the flow window
+		// track merged durability. The leader's server adopts the epoch
+		// writer's resources (encode pool, backend) it created.
+		s.agg = sagg
+		s.persister = newAggPersister(sagg)
+		s.encPool = sagg.pool
+		s.ownStore = sagg.ownStore
+	} else if s.persister == nil {
 		// The encode pool is shared by every persist writer of this
 		// dedicated core: chunk compression fans out across encode_workers
 		// goroutines while each writer streams its file in deterministic
@@ -206,6 +217,20 @@ func (s *Server) Close() error {
 		if s.pipe != nil {
 			s.pipe.close()
 		}
+		// Aggregation teardown: every contribution of this member is acked
+		// (the pipeline drained), so declare it done; the leader then waits
+		// for its siblings and drains the merge (and, on the aggregator
+		// host, the cross-node receiver and the global tier).
+		if s.agg != nil {
+			s.agg.agg.MemberDone(s.agg.memberID)
+			if err := s.agg.close(); err != nil {
+				s.mu.Lock()
+				if s.flushErr == nil {
+					s.flushErr = flushError{fmt.Errorf("core: server %d: close aggregator: %w", s.id, err)}
+				}
+				s.mu.Unlock()
+			}
+		}
 		// Encode workers stop only after every persist writer drained: a
 		// writer mid-WriteChunks still needs them.
 		s.encPool.Close()
@@ -250,6 +275,14 @@ func isFlushError(err error) bool {
 // stay pinned until a writer reports the iteration durable.
 func (s *Server) flushIteration(it int64) error {
 	entries := s.eng.Store().TakeIteration(it)
+	// Aggregation on: contribute to the node's merge here, from the event
+	// loop, so this member's epochs enter the fan-in ring in ascending order
+	// (the property the leader's in-order emission — and the cross-node
+	// lockstep in "node" mode — is built on). The pipeline writer then only
+	// waits for the merged object's durability ack before releasing chunks.
+	if ap, ok := s.persister.(*aggPersister); ok {
+		ap.submit(it, entries)
+	}
 	if s.pipe != nil {
 		s.pipe.submit(it, entries)
 		return nil
@@ -400,6 +433,18 @@ func (s *Server) PipelineStats() PipelineStats {
 	// persister always does once it has written).
 	if ss, ok := s.persister.(StoreStatser); ok {
 		ps.Store = ss.StoreStats()
+	}
+	// Aggregation metrics: the node leader reports its tier (and the
+	// aggregator host the global one), siblings stay zero so per-run sums
+	// count every node once.
+	if s.agg != nil && s.agg.leader {
+		ps.Aggregate = s.agg.agg.Stats()
+		if s.agg.global != nil {
+			ps.AggregateGlobal = s.agg.global.Stats()
+		}
+		if s.agg.fwd != nil {
+			ps.AggregateForwarded = s.agg.fwd.Forwarded()
+		}
 	}
 	return ps
 }

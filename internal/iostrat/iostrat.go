@@ -34,6 +34,16 @@ type Options struct {
 	Scheduling bool
 	// DedicatedPerNode is the number of Damaris cores per node (default 1).
 	DedicatedPerNode int
+	// AggregateMode selects the aggregation tier in front of storage
+	// (mirroring the middleware's <aggregate> element): "" or "off" writes
+	// one stream per dedicated core; "core" merges each node's dedicated
+	// cores into one stream per node; "node" (Damaris 2) additionally
+	// funnels whole nodes through dedicated aggregator nodes, one stream
+	// each.
+	AggregateMode string
+	// AggregatorNodes is the dedicated aggregator-node count for mode
+	// "node" (0 = one per 16 compute nodes, minimum 1).
+	AggregatorNodes int
 	// BytesPerCore overrides the platform's per-core output volume
 	// (BluePrint's Figure 3 varies it). Zero keeps the platform value.
 	BytesPerCore float64
@@ -49,6 +59,17 @@ func (o Options) dedicated() int {
 		return 1
 	}
 	return o.DedicatedPerNode
+}
+
+func (o Options) aggregators(nodes int) int {
+	if o.AggregatorNodes > 0 {
+		return o.AggregatorNodes
+	}
+	a := nodes / 16
+	if a < 1 {
+		a = 1
+	}
+	return a
 }
 
 // PhaseResult is what one simulated write phase yields.
@@ -291,19 +312,46 @@ func SimulateDamaris(plat cluster.Platform, opt Options) (PhaseResult, error) {
 		}
 	}
 
-	// Asynchronous dedicated-core I/O, one writer group per node.
-	perServer := perClient * float64(clientsPerNode) / float64(dedicated)
-	writers := nodes * dedicated
-	writeBytes := perServer
+	// Asynchronous dedicated-core I/O. The aggregation tier decides how many
+	// independent streams hit the file system per epoch:
+	//
+	//   - off:  one per dedicated core (nodes * dedicated files)
+	//   - core: one per node — the node's dedicated cores fan in to their
+	//     leader over shared memory, which is free at simulation granularity;
+	//     the win is fewer creates and fewer concurrent streams
+	//   - node: one per dedicated aggregator node — compute nodes forward
+	//     their merged data across the interconnect (their NIC, then the
+	//     aggregator's ingest NIC: the new fan-in contention point) before a
+	//     handful of writers touch storage at all
+	perNode := perClient * float64(clientsPerNode)
+	interval := plat.IterationSeconds * 50
+	total := float64(n) * perClient
+
+	var writers int
+	var perWriter float64
+	switch opt.AggregateMode {
+	case "", "off":
+		writers = nodes * dedicated
+		perWriter = perNode / float64(dedicated)
+	case "core":
+		writers = nodes
+		perWriter = perNode
+	case "node":
+		busy, lastEnd := e.damarisNodeTier(plat, opt, nodes, perNode, interval)
+		return damarisResult(phase, clientTimes, busy, lastEnd, total), nil
+	default:
+		return PhaseResult{}, fmt.Errorf("iostrat: unknown aggregate mode %q", opt.AggregateMode)
+	}
+
+	writeBytes := perWriter
 	cpuOverhead := 0.0
 	if opt.Compression {
-		writeBytes = perServer / plat.GzipRatio
-		cpuOverhead = perServer / plat.GzipRate
+		writeBytes = perWriter / plat.GzipRatio
+		cpuOverhead = perWriter / plat.GzipRate
 	}
 	// Slot scheduling: the compute interval estimate divided into one slot
 	// per writer (§IV-D: "this time is then divided into as many slots as
 	// dedicated cores. Each dedicated core then waits for its slot").
-	interval := plat.IterationSeconds * 50
 	slot := 0.0
 	if opt.Scheduling {
 		slot = interval / float64(writers)
@@ -331,8 +379,95 @@ func SimulateDamaris(plat cluster.Platform, opt Options) (PhaseResult, error) {
 		})
 	}
 	e.eng.Run()
+	return damarisResult(phase, clientTimes, busy, lastEnd, total), nil
+}
 
-	total := float64(n) * perClient
+// damarisNodeTier simulates aggregate mode "node": every compute node's
+// leader (optionally compressing first) forwards the node's merged bytes
+// through its own NIC and the target aggregator node's ingest NIC; once an
+// aggregator has collected all of its nodes' data for the epoch it creates
+// one file and streams the whole group's bytes. Returns each aggregator
+// writer's busy time (create + write, the Figure-5 quantity) and the span
+// end.
+func (e *env) damarisNodeTier(plat cluster.Platform, opt Options, nodes int,
+	perNode, interval float64) (busy []float64, lastEnd float64) {
+	aggs := opt.aggregators(nodes)
+	if aggs > nodes {
+		aggs = nodes
+	}
+	forwardBytes := perNode
+	cpuOverhead := 0.0
+	if opt.Compression {
+		forwardBytes = perNode / plat.GzipRatio
+		cpuOverhead = perNode / plat.GzipRate
+	}
+	slot := 0.0
+	if opt.Scheduling {
+		slot = interval / float64(aggs)
+	}
+
+	ingest := make([]*sim.Link, aggs)
+	for a := range ingest {
+		ingest[a] = sim.NewLink(e.eng, plat.AggregatorIngest())
+	}
+	pending := make([]float64, aggs) // bytes collected per aggregator
+	remaining := make([]int, aggs)   // nodes still forwarding
+	mults := make([]float64, aggs)   // one straggler draw per aggregate write
+	for a := range mults {
+		mults[a] = jitter.Lognormal(e.rng, plat.DedicatedStragglerSigma)
+	}
+	busy = make([]float64, aggs)
+	assign := func(node int) int { return node * aggs / nodes }
+	for node := 0; node < nodes; node++ {
+		remaining[assign(node)]++
+	}
+	var end float64
+	for node := 0; node < nodes; node++ {
+		node := node
+		a := assign(node)
+		e.eng.After(cpuOverhead, func() {
+			e.nics[node].Transfer(forwardBytes, func() {
+				ingest[a].Transfer(forwardBytes, func() {
+					pending[a] += forwardBytes
+					remaining[a]--
+					if remaining[a] > 0 {
+						return
+					}
+					// Whole group collected: the aggregator waits for its
+					// slot (if scheduled), then writes one file for the
+					// epoch. A dedicated aggregator node is all I/O: its
+					// file stripes as wide as the group it serves, and the
+					// single-client stream cap — the limit dedicating whole
+					// nodes to I/O exists to escape — does not apply.
+					stripes := plat.DamarisStripes * (nodes / aggs)
+					write := func() {
+						s0 := e.eng.Now()
+						e.fsys.CreateFile(func() {
+							e.fsys.WriteStream(e.fsBytes(pending[a]*mults[a]), stripes,
+								0, func() {
+									busy[a] = e.eng.Now() - s0
+									if e.eng.Now() > end {
+										end = e.eng.Now()
+									}
+								})
+						})
+					}
+					start := float64(a) * slot
+					if e.eng.Now() < start {
+						e.eng.At(start, write)
+					} else {
+						write()
+					}
+				})
+			})
+		})
+	}
+	e.eng.Run()
+	return busy, end
+}
+
+// damarisResult assembles the common Damaris phase result.
+func damarisResult(phase float64, clientTimes, busy []float64, lastEnd, total float64) PhaseResult {
 	meanBusy := 0.0
 	for _, b := range busy {
 		meanBusy += b
@@ -349,7 +484,7 @@ func SimulateDamaris(plat cluster.Platform, opt Options) (PhaseResult, error) {
 		DedicatedSpanSeconds: lastEnd,
 		Bytes:                total,
 		AggregateBps:         total / meanBusy,
-	}, nil
+	}
 }
 
 // Simulate dispatches by strategy name ("file-per-process", "collective",

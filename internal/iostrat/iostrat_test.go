@@ -298,3 +298,106 @@ func TestPhasesSeedsDiffer(t *testing.T) {
 		t.Error("AggregateBps length wrong")
 	}
 }
+
+// Aggregation tiers change the stream topology: mode "core" runs one writer
+// per node, mode "node" one per dedicated aggregator node, and both stay
+// deterministic under a fixed seed.
+func TestDamarisAggregationTiers(t *testing.T) {
+	plat := cluster.Grid5000()
+	base := Options{Cores: 10 * plat.CoresPerNode, Seed: 7, DedicatedPerNode: 2}
+
+	off, err := SimulateDamaris(plat, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(off.DedicatedBusySeconds); got != 10*2 {
+		t.Errorf("off: writers = %d, want 20 (one per dedicated core)", got)
+	}
+
+	core := base
+	core.AggregateMode = "core"
+	cr, err := SimulateDamaris(plat, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cr.DedicatedBusySeconds); got != 10 {
+		t.Errorf("core: writers = %d, want 10 (one per node)", got)
+	}
+
+	node := base
+	node.AggregateMode = "node"
+	node.AggregatorNodes = 2
+	nr, err := SimulateDamaris(plat, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(nr.DedicatedBusySeconds); got != 2 {
+		t.Errorf("node: writers = %d, want 2 (one per aggregator node)", got)
+	}
+
+	// The logical volume is mode-independent; the client-visible phase too
+	// (aggregation is entirely behind the shared-memory handoff).
+	for _, r := range []PhaseResult{cr, nr} {
+		if r.Bytes != off.Bytes {
+			t.Errorf("%s bytes = %g, want %g", r.Strategy, r.Bytes, off.Bytes)
+		}
+	}
+
+	// Determinism: same seed, same result.
+	nr2, err := SimulateDamaris(plat, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.AggregateBps != nr2.AggregateBps || nr.DedicatedSpanSeconds != nr2.DedicatedSpanSeconds {
+		t.Errorf("node mode not deterministic: %g/%g vs %g/%g",
+			nr.AggregateBps, nr.DedicatedSpanSeconds, nr2.AggregateBps, nr2.DedicatedSpanSeconds)
+	}
+
+	// Unknown modes fail loudly.
+	bad := base
+	bad.AggregateMode = "rack"
+	if _, err := SimulateDamaris(plat, bad); err == nil {
+		t.Error("unknown aggregate mode accepted")
+	}
+
+	// Aggregator count is clamped to the node count and defaults sanely.
+	one := base
+	one.AggregateMode = "node"
+	one.AggregatorNodes = 64
+	or, err := SimulateDamaris(plat, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(or.DedicatedBusySeconds); got != 10 {
+		t.Errorf("clamped aggregators = %d, want 10", got)
+	}
+}
+
+// Aggregation composes with the paper's compression and scheduling options.
+func TestDamarisAggregationComposesWithOptions(t *testing.T) {
+	plat := cluster.Kraken()
+	opt := Options{
+		Cores:            24 * plat.CoresPerNode,
+		Seed:             3,
+		DedicatedPerNode: 2,
+		AggregateMode:    "node",
+		AggregatorNodes:  3,
+		Compression:      true,
+		Scheduling:       true,
+	}
+	r, err := SimulateDamaris(plat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DedicatedBusySeconds) != 3 {
+		t.Fatalf("writers = %d, want 3", len(r.DedicatedBusySeconds))
+	}
+	for i, b := range r.DedicatedBusySeconds {
+		if b <= 0 {
+			t.Errorf("aggregator %d never wrote (busy=%g)", i, b)
+		}
+	}
+	if r.AggregateBps <= 0 {
+		t.Errorf("throughput = %g", r.AggregateBps)
+	}
+}

@@ -206,6 +206,17 @@ func (c *Comm) Size() int { return len(c.state.ranks) }
 // WorldRank returns the caller's rank in the world communicator.
 func (c *Comm) WorldRank() int { return c.state.ranks[c.rank] }
 
+// WorldRankOf translates a rank of this communicator into its world rank
+// (MPI_Group_translate_ranks against the world group). It is how a rank
+// names a peer globally — e.g. an aggregation leader recording which
+// dedicated cores contributed to a merged object.
+func (c *Comm) WorldRankOf(rank int) int {
+	if rank < 0 || rank >= c.Size() {
+		panic(fmt.Sprintf("mpi: WorldRankOf rank %d outside communicator of size %d", rank, c.Size()))
+	}
+	return c.state.ranks[rank]
+}
+
 // World returns the underlying runtime.
 func (c *Comm) World() *World { return c.state.world }
 
@@ -356,6 +367,17 @@ func (c *Comm) Split(color, key int) *Comm {
 // communicator Damaris uses to pair clients with their dedicated core.
 func (c *Comm) SplitByNode() *Comm {
 	return c.Split(c.Node(), c.WorldRank())
+}
+
+// Dup returns a new communicator over the same group with an isolated tag
+// space (MPI_Comm_dup). Like MPI, this is what lets independent protocol
+// layers — or independent goroutines, since a Comm handle is not
+// goroutine-safe — message the same ranks without ever matching each
+// other's traffic: the cross-node aggregation fan-in and its ack channel
+// are two Dups of the leader communicator. Collective over the
+// communicator.
+func (c *Comm) Dup() *Comm {
+	return c.Split(0, c.rank)
 }
 
 // nextSeq advances the collective sequence number. MPI requires every rank

@@ -374,7 +374,7 @@ func (s *ObjStore) uploadPart(data []byte) (Part, error) {
 		SHA256: hex.EncodeToString(sum[:]),
 	}
 	if info, err := s.Stat(part.Blob); err == nil && info.Size == part.Size {
-		s.metrics.recordDedupe(part.Size)
+		s.dedupeHit(part)
 		return part, nil
 	}
 	var lastErr error
@@ -385,7 +385,7 @@ func (s *ObjStore) uploadPart(data []byte) (Part, error) {
 			// caller observed a timeout after the rename); content
 			// addressing lets the retry begin with the same dedupe probe.
 			if info, err := s.Stat(part.Blob); err == nil && info.Size == part.Size {
-				s.metrics.recordDedupe(part.Size)
+				s.dedupeHit(part)
 				return part, nil
 			}
 		}
@@ -394,6 +394,18 @@ func (s *ObjStore) uploadPart(data []byte) (Part, error) {
 		}
 	}
 	return Part{}, fmt.Errorf("upload failed after %d attempts: %w", s.putAttempts, lastErr)
+}
+
+// dedupeHit records a skipped upload and refreshes the existing blob's
+// mtime. The refresh is load-bearing for online GC: its sweep keeps any
+// unreferenced blob younger than the grace window, so a part an in-flight
+// writer is about to reference must look *recently used*, not as old as
+// its first upload — otherwise a sweep racing the dedupe-then-commit
+// window could delete a part a just-committed manifest references.
+func (s *ObjStore) dedupeHit(part Part) {
+	now := time.Now()
+	_ = os.Chtimes(s.blobPath(part.Blob), now, now) // best-effort: worst case the blob just looks older
+	s.metrics.recordDedupe(part.Size)
 }
 
 func (w *objWriter) Commit() (*Manifest, error) {
@@ -467,7 +479,65 @@ func (s *ObjStore) Commit(m *Manifest) error {
 	return nil
 }
 
-// Manifest reads a committed object's manifest back.
+// maxManifestBytes bounds how much manifest JSON the decoder will even
+// look at: a manifest describes parts of at least 1 byte each, so any
+// legitimate manifest is far below this, and a corrupt or hostile one
+// cannot drive decoding-time allocations past the cap.
+const maxManifestBytes = 16 << 20
+
+// decodeManifest parses and validates manifest JSON the way the DSF reader
+// treats its TOC: every field is bounds-checked before anything downstream
+// trusts it, so corrupt bytes produce an error, never a panic, an
+// over-allocation or a manifest whose arithmetic readers would trip over.
+// object is the name the manifest was fetched for ("" skips the match
+// check, for decoders without that context).
+func decodeManifest(b []byte, object string) (*Manifest, error) {
+	if len(b) > maxManifestBytes {
+		return nil, fmt.Errorf("store: manifest exceeds %d bytes", maxManifestBytes)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	if err := validName(m.Object); err != nil {
+		return nil, fmt.Errorf("store: manifest object: %w", err)
+	}
+	if object != "" && m.Object != object {
+		return nil, fmt.Errorf("store: manifest names object %q, expected %q", m.Object, object)
+	}
+	if m.Size < 0 {
+		return nil, fmt.Errorf("store: manifest %q: negative size %d", m.Object, m.Size)
+	}
+	var sum int64
+	for i, p := range m.Parts {
+		if err := validName(p.Blob); err != nil {
+			return nil, fmt.Errorf("store: manifest %q: part %d blob: %w", m.Object, i, err)
+		}
+		if p.Size <= 0 {
+			return nil, fmt.Errorf("store: manifest %q: part %d has non-positive size %d", m.Object, i, p.Size)
+		}
+		if p.SHA256 != "" {
+			if len(p.SHA256) != 2*sha256.Size {
+				return nil, fmt.Errorf("store: manifest %q: part %d digest length %d", m.Object, i, len(p.SHA256))
+			}
+			if _, err := hex.DecodeString(p.SHA256); err != nil {
+				return nil, fmt.Errorf("store: manifest %q: part %d digest: %w", m.Object, i, err)
+			}
+		}
+		if p.Size > m.Size-sum {
+			return nil, fmt.Errorf("store: manifest %q: parts exceed object size %d", m.Object, m.Size)
+		}
+		sum += p.Size
+	}
+	if sum != m.Size {
+		return nil, fmt.Errorf("store: manifest %q: size %d != part sum %d", m.Object, m.Size, sum)
+	}
+	return &m, nil
+}
+
+// Manifest reads a committed object's manifest back, re-validating every
+// field — a manifest corrupted at rest fails loudly here instead of
+// propagating bad arithmetic into readers.
 func (s *ObjStore) Manifest(object string) (*Manifest, error) {
 	if err := validName(object); err != nil {
 		return nil, err
@@ -484,11 +554,11 @@ func (s *ObjStore) Manifest(object string) (*Manifest, error) {
 		s.metrics.recordFailure()
 		return nil, fmt.Errorf("store: manifest %q: %w", object, err)
 	}
-	var m Manifest
-	if err := json.Unmarshal(b, &m); err != nil {
+	m, err := decodeManifest(b, object)
+	if err != nil {
 		return nil, fmt.Errorf("store: manifest %q: %w", object, err)
 	}
-	return &m, nil
+	return m, nil
 }
 
 // Objects lists the committed objects (those with a manifest), sorted.
