@@ -1,0 +1,314 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"damaris/internal/cluster"
+	"damaris/internal/cm1"
+	"damaris/internal/config"
+	"damaris/internal/control"
+	"damaris/internal/core"
+	"damaris/internal/iostrat"
+	"damaris/internal/mpi"
+	"damaris/internal/store"
+)
+
+// ctlConvergence is one simulated controller curve of BENCH_control.json.
+type ctlConvergence struct {
+	Scenario string `json:"scenario"`
+	Platform string `json:"platform"`
+	Epochs   int    `json:"epochs"`
+	// SettledEpoch is the first epoch of the curve's final constant run;
+	// converged means it happened with margin before the end.
+	SettledEpoch int           `json:"settled_epoch"`
+	Converged    bool          `json:"converged"`
+	Steady       control.Sizes `json:"steady"`
+	// Bounded: every point stayed inside the configured limits.
+	Bounded bool    `json:"bounded"`
+	Ratio   float64 `json:"final_ratio"`
+}
+
+// ctlParity is the static-vs-auto determinism gate: the same workload run
+// under static control and under auto control (different decision
+// sequences by construction) must leave byte-identical DSF objects.
+type ctlParity struct {
+	Objects   int  `json:"objects"`
+	Identical bool `json:"identical"`
+}
+
+// ctlBenchReport is BENCH_control.json.
+type ctlBenchReport struct {
+	Convergence []ctlConvergence `json:"convergence"`
+	// ObserveAllocsPerOp is the steady-state allocation count of one
+	// controller observation — it runs on the dedicated core's event loop
+	// every iteration, so the budget is zero.
+	ObserveAllocsPerOp int64     `json:"observe_allocs_per_op"`
+	Parity             ctlParity `json:"parity"`
+}
+
+// runCtlConvergence simulates the controller on the paper's platforms: a
+// healthy one (must shrink to the synchronous baseline) and an overloaded
+// one (must open, and settle inside the limits).
+func runCtlConvergence() ([]ctlConvergence, error) {
+	lim := control.Limits{MaxWriters: 6, MaxWindow: 10, MaxEncode: 4}
+	type scenario struct {
+		name string
+		plat cluster.Platform
+		opt  iostrat.Options
+		ini  control.Sizes
+	}
+	kraken := cluster.Kraken()
+	grid := cluster.Grid5000()
+	scenarios := []scenario{
+		{
+			name: "healthy-shrink",
+			plat: kraken,
+			opt:  iostrat.Options{Cores: 8 * kraken.CoresPerNode, Seed: 42},
+			ini:  control.Sizes{Writers: 4, Window: 8},
+		},
+		{
+			name: "overload-open",
+			plat: grid,
+			opt: iostrat.Options{Cores: 8 * grid.CoresPerNode, Seed: 7,
+				BytesPerCore: grid.BytesPerCore * 200},
+			ini: control.Sizes{Writers: 1, Window: 1},
+		},
+	}
+	var out []ctlConvergence
+	for _, sc := range scenarios {
+		const epochs = 60
+		pts, err := iostrat.SimulateControl(sc.plat, sc.opt,
+			iostrat.ControlSimConfig{Epochs: epochs, Initial: sc.ini, Limits: lim})
+		if err != nil {
+			return nil, err
+		}
+		settled := iostrat.ControlSettled(pts)
+		bounded := true
+		for _, p := range pts {
+			if p.Sizes.Writers < 1 || p.Sizes.Writers > lim.MaxWriters ||
+				p.Sizes.Window < 1 || p.Sizes.Window > lim.MaxWindow {
+				bounded = false
+			}
+		}
+		last := pts[len(pts)-1]
+		out = append(out, ctlConvergence{
+			Scenario:     sc.name,
+			Platform:     sc.plat.Name,
+			Epochs:       epochs,
+			SettledEpoch: settled,
+			Converged:    settled >= 0 && settled <= epochs-5,
+			Steady:       last.Sizes,
+			Bounded:      bounded,
+			Ratio:        last.Ratio,
+		})
+	}
+	return out, nil
+}
+
+// benchObserve measures the controller's per-observation allocation count.
+func benchObserve() int64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		clk := control.NewManualClock(time.Unix(0, 0))
+		tn, err := control.New(control.Config{
+			Mode:    "auto",
+			Initial: control.Sizes{Writers: 2, Window: 2, Encode: 2},
+			Clock:   clk,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sample := control.Sample{FlushLatency: 0.01, Interval: 0.005,
+			EncodeLatency: 0.002, StoreLatency: 0.001}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clk.Advance(control.DefaultInterval)
+			tn.Observe(sample)
+		}
+	})
+	return r.AllocsPerOp()
+}
+
+// ctlScheduler is a per-iteration (non-batch-aware) scheduler: it pins the
+// pipeline to one-iteration batches so the off-mode DSF directory layout is
+// deterministic and the parity run can compare whole directories.
+type ctlScheduler struct{}
+
+func (ctlScheduler) WaitTurn(int64) {}
+
+// runCtlParityOnce executes one real middleware run (1 node x 4 cores, CM1
+// write pattern) under the given control mode with injected store latency,
+// and returns the output objects.
+func runCtlParityOnce(mode string, lat time.Duration) (map[string][]byte, error) {
+	dir, err := os.MkdirTemp("", "damaris-ctl-parity")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	backend, err := store.NewFileStore(dir, store.Options{Fault: store.Latency(lat)})
+	if err != nil {
+		return nil, err
+	}
+	defer backend.Close()
+
+	const ranks, coresPerNode, steps, outputEvery = 4, 4, 12, 1
+	params := cm1.DefaultParams(ranks-1, 1)
+	cfg, err := config.ParseString(cm1.ConfigXML(params, 32<<20, "mutex", 1))
+	if err != nil {
+		return nil, err
+	}
+	cfg.PersistWorkers = 1
+	cfg.PersistQueueDepth = 1
+	cfg.ControlMode = mode
+	cfg.ControlIntervalMS = 1
+	cfg.ControlMaxWriters = 4
+	cfg.ControlMaxWindow = 6
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	pers := &core.DSFPersister{Backend: backend}
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	err = mpi.Run(ranks, coresPerNode, func(comm *mpi.Comm) {
+		dep, err := core.Deploy(comm, cfg, nil, core.Options{
+			Persister: pers, Scheduler: ctlScheduler{},
+		})
+		if err != nil {
+			fail(err)
+			return
+		}
+		if !dep.IsClient() {
+			if err := dep.Server.Run(); err != nil {
+				fail(err)
+			}
+			return
+		}
+		sim, err := cm1.New(dep.ClientComm, params)
+		if err != nil {
+			fail(err)
+			return
+		}
+		b := cm1.NewDamarisBackend(dep.Client)
+		if _, err := cm1.Run(sim, b, steps, outputEvery); err != nil {
+			fail(err)
+		}
+		if err := b.Close(); err != nil {
+			fail(err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make(map[string][]byte)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if e.IsDir() || e.Name()[0] == '.' {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = b
+	}
+	return out, nil
+}
+
+// runCtlParity compares static against auto under two different injected
+// latencies — three distinct controller decision sequences over one
+// workload; all must produce identical bytes.
+func runCtlParity() (ctlParity, error) {
+	ref, err := runCtlParityOnce("static", 0)
+	if err != nil {
+		return ctlParity{}, err
+	}
+	p := ctlParity{Objects: len(ref), Identical: len(ref) > 0}
+	for _, lat := range []time.Duration{500 * time.Microsecond, 2 * time.Millisecond} {
+		got, err := runCtlParityOnce("auto", lat)
+		if err != nil {
+			return p, err
+		}
+		if len(got) != len(ref) {
+			p.Identical = false
+			continue
+		}
+		for name, want := range ref {
+			if string(got[name]) != string(want) {
+				p.Identical = false
+			}
+		}
+	}
+	return p, nil
+}
+
+// runControlBench simulates controller convergence, measures the observe
+// path's allocations, proves static-vs-auto byte parity on the real
+// middleware path, and writes BENCH_control.json. Any failed check is an
+// error — the bench doubles as the regression gate.
+func runControlBench(outPath string) error {
+	curves, err := runCtlConvergence()
+	if err != nil {
+		return err
+	}
+	for _, c := range curves {
+		fmt.Printf("%-16s %-10s settled@%2d/%d steady writers=%d window=%d (bounded=%v ratio=%.2f)\n",
+			c.Scenario, c.Platform, c.SettledEpoch, c.Epochs,
+			c.Steady.Writers, c.Steady.Window, c.Bounded, c.Ratio)
+	}
+
+	allocs := benchObserve()
+	fmt.Printf("observe: %d allocs/op steady state\n", allocs)
+
+	parity, err := runCtlParity()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parity: %d objects, static-vs-auto byte-identical=%v\n", parity.Objects, parity.Identical)
+
+	out, err := json.MarshalIndent(ctlBenchReport{
+		Convergence:        curves,
+		ObserveAllocsPerOp: allocs,
+		Parity:             parity,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+
+	for _, c := range curves {
+		if !c.Converged || !c.Bounded {
+			return fmt.Errorf("controller failed to converge inside bounds in %q (see %s)", c.Scenario, outPath)
+		}
+	}
+	if allocs > 0 {
+		return fmt.Errorf("controller observe path allocates %d/op, budget is 0 (see %s)", allocs, outPath)
+	}
+	if !parity.Identical {
+		return fmt.Errorf("static-vs-auto output parity failed (see %s)", outPath)
+	}
+	return nil
+}

@@ -37,6 +37,9 @@ func main() {
 		aggregateBench = flag.Bool("aggregate-bench", false,
 			"benchmark the aggregation layer (merge allocs, arrival-order determinism, off-mode store parity, platform throughput curves) and emit a JSON report")
 		aggregateOut = flag.String("aggregate-out", "BENCH_aggregate.json", "output path for -aggregate-bench")
+		controlBench = flag.Bool("control-bench", false,
+			"benchmark the adaptive control plane (simulated convergence curves, observe-path allocs, static-vs-auto byte parity) and emit a JSON report")
+		controlOut = flag.String("control-out", "BENCH_control.json", "output path for -control-bench")
 	)
 	flag.Parse()
 
@@ -63,6 +66,14 @@ func main() {
 
 	if *aggregateBench {
 		if err := runAggregateBench(*aggregateOut, *storeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *controlBench {
+		if err := runControlBench(*controlOut); err != nil {
 			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
 			os.Exit(1)
 		}

@@ -56,13 +56,24 @@ func main() {
 			"aggregation tier in front of the storage backend: off (one DSF stream per dedicated core) | core (one object per node per epoch) | node (Damaris 2: one object per epoch via a dedicated aggregator node)")
 		aggregateRing = flag.Int("aggregate-ring", 0,
 			"fan-in ring depth between sibling dedicated cores and the aggregation leader (0 = default)")
+		controlMode = flag.String("control", "static",
+			"adaptive control plane: static (the sizing knobs above are final) | auto (feedback-tune persist workers, flow window and encode pool from observed latency; the knobs become the starting point)")
+		controlInterval = flag.Int("control-interval-ms", 0,
+			"minimum milliseconds between controller decisions (0 = default)")
+		controlMaxWorkers = flag.Int("control-max-workers", 0,
+			"auto-control upper bound on persist workers (0 = default)")
+		controlMaxWindow = flag.Int("control-max-window", 0,
+			"auto-control upper bound on the flow-window depth (0 = default)")
+		controlMaxEncode = flag.Int("control-max-encode", 0,
+			"auto-control upper bound on encode workers (0 = default)")
 	)
 	flag.Parse()
 
 	if err := run(*ranks, *coresPerNode, *steps, *outputEvery, *outDir,
 		*backend, *compress, *bufMB, *allocator, *persistWork, *persistQueue,
 		*encodeWork, *gzipLevel, *persistBackend, *storePartSize, *storePutWorkers,
-		*aggregate, *aggregateRing); err != nil {
+		*aggregate, *aggregateRing,
+		*controlMode, *controlInterval, *controlMaxWorkers, *controlMaxWindow, *controlMaxEncode); err != nil {
 		fmt.Fprintln(os.Stderr, "damaris-run:", err)
 		os.Exit(1)
 	}
@@ -71,7 +82,8 @@ func main() {
 func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	compress bool, bufMB int64, allocator string, persistWork, persistQueue,
 	encodeWork, gzipLevel int, persistBackend string, storePartSize int64,
-	storePutWorkers int, aggregate string, aggregateRing int) error {
+	storePutWorkers int, aggregate string, aggregateRing int,
+	controlMode string, controlInterval, controlMaxWorkers, controlMaxWindow, controlMaxEncode int) error {
 	if ranks%coresPerNode != 0 {
 		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
 	}
@@ -118,6 +130,11 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		cfg.StorePutWorkers = storePutWorkers
 		cfg.AggregateMode = aggregate
 		cfg.AggregateRingDepth = aggregateRing
+		cfg.ControlMode = controlMode
+		cfg.ControlIntervalMS = controlInterval
+		cfg.ControlMaxWriters = controlMaxWorkers
+		cfg.ControlMaxWindow = controlMaxWindow
+		cfg.ControlMaxEncode = controlMaxEncode
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
@@ -206,6 +223,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		fmt.Printf("dedicated cores: %d flushes, write mean=%.2gs; spare total=%.2gs; %d bytes persisted\n",
 			ws.N, ws.Mean, stats.Mean(serverSpare), bytesWritten)
 		reportPipeline(pipeStats)
+		reportControl(pipeStats, controlMode)
 		reportStore(pipeStats, sharedStore)
 		reportAggregate(pipeStats)
 	}
@@ -244,13 +262,40 @@ func reportPipeline(ps []core.PipelineStats) {
 		utils = append(utils, s.Utilization)
 		batchMeans = append(batchMeans, s.BatchSize.Mean)
 	}
-	fmt.Printf("pipeline: %d workers x queue %d per core; %d iterations enqueued, %d durable, %d failed\n",
-		ps[0].Workers, ps[0].QueueDepth, enq, comp, fail)
+	// Workers and Window are the *effective* sizes — wherever the control
+	// plane left them, which under static control equals the configured
+	// knobs — so a run is diagnosable from the report alone.
+	fmt.Printf("pipeline: %d workers x window %d (queue %d) per core; %d iterations enqueued, %d durable, %d failed\n",
+		ps[0].Workers, ps[0].Window, ps[0].QueueDepth, enq, comp, fail)
 	fmt.Printf("pipeline: queue depth mean=%.2f max=%d; flush latency mean=%.2gs max=%.2gs\n",
 		stats.Mean(depthMeans), maxDepth, stats.Mean(latMeans), stats.Max(latMaxes))
 	fmt.Printf("pipeline: writer utilization mean=%.1f%%; batch size mean=%.2f\n",
 		100*stats.Mean(utils), stats.Mean(batchMeans))
 	reportEncode(ps)
+}
+
+// reportControl prints the adaptive control plane's activity and the
+// effective (post-tune) sizes per dedicated core. Static mode prints a
+// single marker line so every report names its control mode.
+func reportControl(ps []core.PipelineStats, mode string) {
+	if mode != "auto" {
+		fmt.Printf("control[static]: configured sizes are final\n")
+		return
+	}
+	var decisions, resizes int64
+	for _, s := range ps {
+		decisions += s.Control.Decisions
+		resizes += s.Control.Resizes
+	}
+	fmt.Printf("control[auto]: %d decisions, %d resizes across %d dedicated cores\n",
+		decisions, resizes, len(ps))
+	for i, s := range ps {
+		c := s.Control
+		fmt.Printf("control[auto]: core %d effective writers=%d window=%d encode=%d "+
+			"(bounds %d/%d/%d, ratio %.2f, steady %d)\n",
+			i, c.Sizes.Writers, c.Sizes.Window, c.Sizes.Encode,
+			c.Limits.MaxWriters, c.Limits.MaxWindow, c.Limits.MaxEncode, c.Ratio, c.Steady)
+	}
 }
 
 // reportStore prints the storage-backend metrics. With a shared backend one

@@ -125,6 +125,15 @@ type Stats struct {
 	// mark.
 	RingDepth stats.Summary
 	RingMax   int
+	// DurabilityWindow summarizes, per committed epoch, how many epochs
+	// ahead the fastest member had already submitted when this epoch became
+	// durable — the node-wide epoch lifetime in epochs, i.e. the slowest
+	// sibling's durability window. A member's shared-memory chunks stay
+	// pinned for exactly this long, so the shared buffer must hold
+	// DurabilityWindowMax+1 write phases per member (the bound core.Deploy
+	// derives and enforces).
+	DurabilityWindow    stats.Summary
+	DurabilityWindowMax int64
 }
 
 // Aggregator merges per-member flush epochs into one object per epoch. One
@@ -149,6 +158,10 @@ type Aggregator struct {
 	bytes       int64
 	commitFails int64
 	reelections int64
+	maxEpochIn  int64             // highest epoch any member has submitted
+	seenEpoch   bool              // maxEpochIn is meaningful
+	lagAcc      stats.Accumulator // per-commit durability window (epochs)
+	maxLag      int64
 }
 
 // New starts an aggregator and its first leader term.
@@ -201,9 +214,19 @@ func (a *Aggregator) Submit(member int, epoch int64, entries []*metadata.Entry) 
 	}
 	a.mu.Lock()
 	a.contribs++
+	if !a.seenEpoch || epoch > a.maxEpochIn {
+		a.maxEpochIn, a.seenEpoch = epoch, true
+	}
 	a.mu.Unlock()
 	a.ring.push(&contribution{member: member, epoch: epoch, entries: entries, done: done})
 	return done
+}
+
+// RingOccupancy reports the fan-in ring's instantaneous fill fraction — the
+// control plane's saturation signal (a full ring vetoes window growth).
+func (a *Aggregator) RingOccupancy() float64 {
+	n, capacity := a.ring.occupancy()
+	return float64(n) / float64(capacity)
 }
 
 // MemberDone declares that a member will submit no further epochs. Once
@@ -244,17 +267,19 @@ func (a *Aggregator) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return Stats{
-		Mode:           a.cfg.Mode,
-		Members:        len(a.memberSet),
-		Epochs:         a.epochs,
-		EmptyEpochs:    a.emptyEpochs,
-		Contributions:  a.contribs,
-		MergedChunks:   a.chunks,
-		MergedBytes:    a.bytes,
-		CommitFailures: a.commitFails,
-		Reelections:    a.reelections,
-		RingDepth:      depth,
-		RingMax:        max,
+		Mode:                a.cfg.Mode,
+		Members:             len(a.memberSet),
+		Epochs:              a.epochs,
+		EmptyEpochs:         a.emptyEpochs,
+		Contributions:       a.contribs,
+		MergedChunks:        a.chunks,
+		MergedBytes:         a.bytes,
+		CommitFailures:      a.commitFails,
+		Reelections:         a.reelections,
+		RingDepth:           depth,
+		RingMax:             max,
+		DurabilityWindow:    a.lagAcc.Summary(),
+		DurabilityWindowMax: a.maxLag,
 	}
 }
 
@@ -345,6 +370,20 @@ func (a *Aggregator) emitReady(term int, force bool) bool {
 
 		a.mu.Lock()
 		delete(a.pending, epoch)
+		// The slowest-sibling durability window: this epoch just became
+		// durable while the fastest member had already submitted up to
+		// maxEpochIn — every member's chunks for the span in between are
+		// still pinned, which is what the shared-buffer bound must cover.
+		if a.seenEpoch {
+			lag := a.maxEpochIn - epoch
+			if lag < 0 {
+				lag = 0
+			}
+			a.lagAcc.Add(float64(lag))
+			if lag > a.maxLag {
+				a.maxLag = lag
+			}
+		}
 		if len(entries) == 0 && err == nil {
 			a.emptyEpochs++
 		} else if err != nil {

@@ -399,3 +399,79 @@ func TestMemberDoneCompletesPendingEpoch(t *testing.T) {
 		t.Errorf("servers attr = %q, want \"0\"", got)
 	}
 }
+
+// countSink acks every epoch without writing.
+type countSink struct {
+	mu     sync.Mutex
+	epochs int
+}
+
+func (s *countSink) CommitEpoch(int64, []int, []*metadata.Entry) error {
+	s.mu.Lock()
+	s.epochs++
+	s.mu.Unlock()
+	return nil
+}
+func (s *countSink) Close() error { return nil }
+
+// The slowest-sibling durability window: when one member races ahead, the
+// epoch lifetime observed at each commit measures how many epochs the fast
+// member had already submitted — the figure core.Deploy's buffer bound must
+// cover.
+func TestDurabilityWindowTracksSlowestSibling(t *testing.T) {
+	agg, err := New(Config{Mode: "core", Members: []int{0, 1}, Sink: &countSink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member 0 races three epochs ahead before member 1 contributes at all.
+	var fast []<-chan error
+	for e := int64(0); e < 3; e++ {
+		fast = append(fast, agg.Submit(0, e, nil))
+	}
+	var slow []<-chan error
+	for e := int64(0); e < 3; e++ {
+		slow = append(slow, agg.Submit(1, e, nil))
+	}
+	for i := range fast {
+		if err := <-fast[i]; err != nil {
+			t.Fatal(err)
+		}
+		if err := <-slow[i]; err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg.MemberDone(0)
+	agg.MemberDone(1)
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := agg.Stats()
+	if st.DurabilityWindow.N != 3 {
+		t.Fatalf("durability window samples = %d, want 3", st.DurabilityWindow.N)
+	}
+	// Epoch 0 commits with member 0 already at epoch 2: lifetime 2 epochs;
+	// epochs 1 and 2 shrink to 1 and 0.
+	if st.DurabilityWindowMax != 2 {
+		t.Fatalf("DurabilityWindowMax = %d, want 2", st.DurabilityWindowMax)
+	}
+	if st.DurabilityWindow.Max != 2 || st.DurabilityWindow.Min != 0 {
+		t.Fatalf("durability window summary = %+v, want max 2 min 0", st.DurabilityWindow)
+	}
+}
+
+// RingOccupancy reports the live fill fraction the control plane samples.
+func TestRingOccupancy(t *testing.T) {
+	agg, err := New(Config{Mode: "core", Members: []int{0, 1}, RingDepth: 4, Sink: &countSink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := agg.RingOccupancy(); f < 0 || f > 1 {
+		t.Fatalf("occupancy %v outside [0,1]", f)
+	}
+	agg.MemberDone(0)
+	agg.MemberDone(1)
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -79,6 +79,30 @@
 //	  - ring (AggregateRingDepth) bounds the in-process fan-in ring between
 //	    sibling dedicated cores and the leader — the aggregation layer's
 //	    backpressure point (0 = default).
+//
+// # Adaptive control plane
+//
+// Whether the three pipeline sizes above stay static or are feedback-tuned
+// at runtime is selected by an optional <control> element (see
+// internal/control and docs/control.md):
+//
+//	<control mode="auto" interval_ms="250" max_workers="8" max_window="16" max_encode="8"/>
+//
+//	  - mode (ControlMode) is "static" (or absent — the worker counts and
+//	    window depth are exactly the configured knobs, byte-for-byte the
+//	    pre-control behavior) or "auto" (a control.Tuner re-sizes the persist
+//	    writer pool, the client flow window and the encode pool between
+//	    iterations from observed flush/encode/store latency; the configured
+//	    knobs become the starting point). Auto requires an asynchronous
+//	    pipeline (workers >= 1).
+//	  - interval_ms (ControlIntervalMS) is the minimum milliseconds between
+//	    controller decisions (0 = control.DefaultInterval).
+//	  - max_workers / max_window / max_encode (ControlMaxWriters,
+//	    ControlMaxWindow, ControlMaxEncode) bound the tunable range
+//	    (0 = package defaults). The controller never moves a size outside
+//	    [1, max]; the encode dimension is tuned only for a pool the server
+//	    itself owns (externally attached pools may be shared across
+//	    servers and are reported but never resized).
 package config
 
 import (
@@ -137,6 +161,19 @@ type Config struct {
 	// AggregateRingDepth bounds the in-process fan-in ring feeding the
 	// aggregation leader (0 = default).
 	AggregateRingDepth int
+	// ControlMode selects the adaptive control plane: "" or "static" (the
+	// sizing knobs above are final — byte-for-byte the pre-control
+	// behavior) or "auto" (a feedback controller re-sizes the persist
+	// writer pool, flow window and encode pool between iterations).
+	ControlMode string
+	// ControlIntervalMS is the minimum milliseconds between controller
+	// decisions (0 = control.DefaultInterval).
+	ControlIntervalMS int
+	// ControlMaxWriters / ControlMaxWindow / ControlMaxEncode bound the
+	// tunable range in auto mode (0 = control package defaults).
+	ControlMaxWriters int
+	ControlMaxWindow  int
+	ControlMaxEncode  int
 	// Layouts maps layout names to normalized (C-order) layouts.
 	Layouts map[string]layout.Layout
 	// Variables maps variable names to their declarations.
@@ -169,6 +206,7 @@ type xmlFile struct {
 	Pipeline *xmlPipeline  `xml:"pipeline"`
 	Store    *xmlStore     `xml:"store"`
 	Aggr     *xmlAggregate `xml:"aggregate"`
+	Control  *xmlControl   `xml:"control"`
 	Layouts  []xmlLayout   `xml:"layout"`
 	Vars     []xmlVariable `xml:"variable"`
 	Events   []xmlEvent    `xml:"event"`
@@ -204,6 +242,16 @@ type xmlStore struct {
 type xmlAggregate struct {
 	Mode string `xml:"mode,attr"`
 	Ring string `xml:"ring,attr"`
+}
+
+// xmlControl selects the adaptive control plane; numeric attributes are
+// strings so absent (default) is distinguishable from an explicit "0".
+type xmlControl struct {
+	Mode       string `xml:"mode,attr"`
+	IntervalMS string `xml:"interval_ms,attr"`
+	MaxWorkers string `xml:"max_workers,attr"`
+	MaxWindow  string `xml:"max_window,attr"`
+	MaxEncode  string `xml:"max_encode,attr"`
 }
 
 type xmlLayout struct {
@@ -320,6 +368,34 @@ func build(f *xmlFile) (*Config, error) {
 				return nil, fmt.Errorf("config: gzip level %q: %w", f.Pipeline.GzipLevel, err)
 			}
 			c.PersistGzipLevel = l
+		}
+	}
+
+	// Control-plane selection.
+	if f.Control != nil {
+		c.ControlMode = f.Control.Mode
+		atoi := func(name, v string, dst *int) error {
+			if v == "" {
+				return nil
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("config: control %s %q: %w", name, v, err)
+			}
+			*dst = n
+			return nil
+		}
+		if err := atoi("interval_ms", f.Control.IntervalMS, &c.ControlIntervalMS); err != nil {
+			return nil, err
+		}
+		if err := atoi("max_workers", f.Control.MaxWorkers, &c.ControlMaxWriters); err != nil {
+			return nil, err
+		}
+		if err := atoi("max_window", f.Control.MaxWindow, &c.ControlMaxWindow); err != nil {
+			return nil, err
+		}
+		if err := atoi("max_encode", f.Control.MaxEncode, &c.ControlMaxEncode); err != nil {
+			return nil, err
 		}
 	}
 
@@ -480,8 +556,26 @@ func (c *Config) Validate() error {
 	if c.AggregateRingDepth < 0 {
 		return fmt.Errorf("config: negative aggregate ring depth %d", c.AggregateRingDepth)
 	}
+	switch c.ControlMode {
+	case "", "static", "auto":
+	default:
+		return fmt.Errorf("config: unknown control mode %q (want static or auto)", c.ControlMode)
+	}
+	if c.ControlIntervalMS < 0 {
+		return fmt.Errorf("config: negative control interval %d ms", c.ControlIntervalMS)
+	}
+	if c.ControlMaxWriters < 0 || c.ControlMaxWindow < 0 || c.ControlMaxEncode < 0 {
+		return fmt.Errorf("config: negative control bound (max_workers=%d max_window=%d max_encode=%d)",
+			c.ControlMaxWriters, c.ControlMaxWindow, c.ControlMaxEncode)
+	}
+	if c.ControlMode == "auto" && c.PersistWorkers == 0 {
+		return fmt.Errorf("config: control mode auto requires an asynchronous pipeline (persist workers >= 1), got workers=0")
+	}
 	return nil
 }
+
+// ControlAuto reports whether the adaptive control plane is on.
+func (c *Config) ControlAuto() bool { return c.ControlMode == "auto" }
 
 // AggregateEnabled reports whether an aggregation tier is selected.
 func (c *Config) AggregateEnabled() bool {
@@ -498,6 +592,19 @@ func (c *Config) Variable(name string) (Variable, bool) {
 func (c *Config) Event(name string) (Event, bool) {
 	e, ok := c.Events[name]
 	return e, ok
+}
+
+// PhaseBytesPerClient estimates one client's write-phase volume: the sum of
+// every declared variable's layout size. It is an upper estimate (a client
+// may write only a subset per iteration), used to derive shared-buffer
+// bounds such as the aggregation-aware slowest-sibling rule core.Deploy
+// enforces. 0 when no variables are declared.
+func (c *Config) PhaseBytesPerClient() int64 {
+	var b int64
+	for _, v := range c.Variables {
+		b += v.Layout.Bytes()
+	}
+	return b
 }
 
 // LayoutOf returns the layout a variable's writes follow.

@@ -1,0 +1,93 @@
+package control
+
+// WorkerSet is the slot bookkeeping shared by the live-resizable worker
+// pools the control plane commands (the persist pipeline's writers, the
+// DSF encode pool). It owns the invariants both pools need:
+//
+//   - slots are never reused: a stopping worker may still be draining its
+//     in-flight batch when the next resize lands, so a resurrected slot
+//     would let two goroutines share one identity and double-count both
+//     concurrency and busy time. Each grown worker gets a fresh slot.
+//   - shrink stops the newest workers first (LIFO), by closing their stop
+//     channels; the worker is expected to exit between work items.
+//   - utilization is measured against the historical peak commanded count,
+//     so Σbusy/(peak×wall) stays meaningful across shrink/grow cycles
+//     (dividing by slots-ever-started would deflate it with every resize).
+//
+// A WorkerSet is not internally locked: the owning pool guards it with the
+// same mutex that guards its other counters.
+type WorkerSet struct {
+	workers int
+	peak    int
+	stops   []chan struct{} // one slot per worker ever started; nil once stopped
+	active  []int           // slot indices of commanded workers, in start order
+	busy    []float64       // per-slot seconds spent working
+	resizes int64
+}
+
+// Resize moves the commanded worker count to n (floored at 1), calling
+// start(slot, stop) for each fresh slot on grow and closing the newest
+// workers' stop channels on shrink. The first call (from zero workers) is
+// construction and is not counted as a resize. Returns whether anything
+// changed.
+func (ws *WorkerSet) Resize(n int, start func(slot int, stop chan struct{})) bool {
+	if n < 1 {
+		n = 1
+	}
+	if n == ws.workers {
+		return false
+	}
+	if ws.workers > 0 {
+		ws.resizes++
+	}
+	for ws.workers > n {
+		idx := ws.active[len(ws.active)-1]
+		ws.active = ws.active[:len(ws.active)-1]
+		close(ws.stops[idx])
+		ws.stops[idx] = nil
+		ws.workers--
+	}
+	for ws.workers < n {
+		slot := len(ws.stops)
+		stop := make(chan struct{})
+		ws.stops = append(ws.stops, stop)
+		ws.busy = append(ws.busy, 0)
+		ws.active = append(ws.active, slot)
+		ws.workers++
+		if ws.workers > ws.peak {
+			ws.peak = ws.workers
+		}
+		start(slot, stop)
+	}
+	return true
+}
+
+// Workers returns the commanded worker count.
+func (ws *WorkerSet) Workers() int { return ws.workers }
+
+// Peak returns the historical maximum commanded count.
+func (ws *WorkerSet) Peak() int { return ws.peak }
+
+// Resizes returns how many times the commanded count changed after
+// construction.
+func (ws *WorkerSet) Resizes() int64 { return ws.resizes }
+
+// AddBusy charges seconds of work to a slot.
+func (ws *WorkerSet) AddBusy(slot int, seconds float64) { ws.busy[slot] += seconds }
+
+// Busy returns a copy of the per-slot busy seconds (one entry per worker
+// ever started).
+func (ws *WorkerSet) Busy() []float64 { return append([]float64(nil), ws.busy...) }
+
+// Utilization returns Σbusy/(peak×wall): time spent working relative to
+// the historical peak pool running for the whole wall interval.
+func (ws *WorkerSet) Utilization(wall float64) float64 {
+	if ws.peak == 0 || wall <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range ws.busy {
+		sum += b
+	}
+	return sum / (float64(ws.peak) * wall)
+}

@@ -53,11 +53,14 @@ type initMsg struct {
 // equals the persistence pipeline's queue depth when flushing is
 // asynchronous: the pipeline can usefully absorb exactly that many
 // iterations, so letting clients run further ahead would only grow memory,
-// while a smaller window would idle the writers.
+// while a smaller window would idle the writers. Under the adaptive control
+// plane (<control mode="auto">) the depth is re-tuned live between
+// iterations via setWindow: the window opens only as far as the observed
+// flush-latency/iteration-interval ratio warrants.
 type flow struct {
-	window  int64
 	mu      sync.Mutex
 	cond    *sync.Cond
+	window  int64
 	flushed int64 // highest durably flushed iteration; -1 before any
 	closed  bool
 }
@@ -85,13 +88,34 @@ func (f *flow) setFlushed(it int64) {
 
 // wait blocks a client that just ended iteration `it` until that leaves it
 // at most `window` iterations ahead of the last durable flush (or the
-// server shut down).
+// server shut down). The window is re-read on every wakeup, so a live
+// setWindow takes effect for already-parked clients too.
 func (f *flow) wait(it int64) {
 	f.mu.Lock()
 	for f.flushed < it-f.window && !f.closed {
 		f.cond.Wait()
 	}
 	f.mu.Unlock()
+}
+
+// setWindow re-tunes the window depth (control plane, auto mode). Widening
+// wakes parked clients immediately; narrowing only gates future waits —
+// clients already past the old window are never called back.
+func (f *flow) setWindow(w int64) {
+	if w < 1 {
+		w = 1
+	}
+	f.mu.Lock()
+	f.window = w
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// windowSize reads the current window depth.
+func (f *flow) windowSize() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.window
 }
 
 // close releases all waiters permanently (server shutdown).
@@ -130,7 +154,8 @@ type Options struct {
 	// Persister overrides the default DSF persistency layer on servers.
 	Persister Persister
 	// Scheduler, when non-nil, delays each server's persistence to its
-	// assigned slot (paper §IV-D, "Data transfer scheduling").
+	// assigned slot (paper §IV-D, "Data transfer scheduling"). Schedulers
+	// that also implement BatchScheduler keep write-behind batching enabled.
 	Scheduler Scheduler
 }
 
@@ -178,6 +203,42 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 	}
 	clients := n - servers
 
+	// Flow window: 1 for the synchronous baseline, the persist queue depth
+	// for the write-behind pipeline (the control plane, when auto, moves the
+	// effective window inside a buffer-capped range at runtime).
+	window := int64(1)
+	if cfg.PersistWorkers > 0 {
+		window = int64(cfg.PersistQueueDepth)
+	}
+
+	// Aggregation-aware buffer bound: with <aggregate> on, a member's chunks
+	// stay pinned until the *whole node's* epoch is durable — the slowest
+	// sibling's durability window (aggregate.Stats reports the observed
+	// value), not just this core's own flush. The window+1 rule therefore
+	// becomes a hard liveness requirement per dedicated core: a buffer that
+	// cannot hold window+1 phases deadlocks the node the moment one sibling
+	// lags. Every rank can derive the bound from collective data, so a
+	// violation fails the whole deployment symmetrically instead of leaving
+	// clients parked in the handshake.
+	if cfg.AggregateEnabled() {
+		perClient := cfg.PhaseBytesPerClient()
+		segSize := cfg.BufferSize / int64(servers)
+		for g := 0; g < servers; g++ {
+			phase := perClient * int64(len(groupClients(g, clients, servers)))
+			if phase == 0 {
+				continue
+			}
+			if need := (window + 1) * phase; segSize < need {
+				return nil, fmt.Errorf(
+					"core: <aggregate> pins chunks for the slowest sibling's durability window: "+
+						"shared buffer %d B per dedicated core (group %d) is below the derived bound %d B "+
+						"(window %d + 1 write phases x %d B/phase, every declared variable once per client); "+
+						"raise <buffer size>, lower persist_queue_depth, or trim unwritten <variable> declarations",
+					segSize, g, need, window, phase)
+			}
+		}
+	}
+
 	dep := &Deployment{NodeComm: node, NodeClients: clients, NodeServers: servers}
 	myNodeRank := node.Rank()
 
@@ -206,6 +267,21 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 		g := myNodeRank - clients
 		group := groupClients(g, clients, servers)
 		segSize := cfg.BufferSize / int64(servers)
+
+		// Buffer-derived window cap: the segment holds at most `phases`
+		// write phases of this group's estimated volume, so no window deeper
+		// than phases-1 can ever make progress. The adaptive control plane
+		// receives it as a hard bound (see newServer).
+		phaseBytes := cfg.PhaseBytesPerClient() * int64(len(group))
+		windowCap := 0
+		if phaseBytes > 0 {
+			if phases := segSize / phaseBytes; phases > 1 {
+				windowCap = int(phases - 1)
+			} else {
+				windowCap = 1
+			}
+		}
+
 		var segOpts []shm.Option
 		if cfg.Allocator == "lockfree" {
 			segOpts = append(segOpts, shm.WithLockFree(len(group)))
@@ -215,10 +291,6 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 			return nil, fmt.Errorf("core: server %d: %w", g, err)
 		}
 		queue := event.NewQueue()
-		window := int64(1)
-		if cfg.PersistWorkers > 0 {
-			window = int64(cfg.PersistQueueDepth)
-		}
 		fc := newFlow(window)
 		for localIdx, clientNodeRank := range group {
 			node.Send(clientNodeRank, tagInit, initMsg{seg: seg, queue: queue, fc: fc, localIdx: localIdx})
@@ -237,7 +309,7 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 				return nil, err
 			}
 		}
-		srv, err := newServer(cfg, eng, queue, seg, fc, world.WorldRank(), node.Node(), g, opts, sagg)
+		srv, err := newServer(cfg, eng, queue, seg, fc, world.WorldRank(), node.Node(), g, opts, sagg, windowCap)
 		if err != nil {
 			seg.Close()
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"damaris/internal/aggregate"
+	"damaris/internal/control"
 	"damaris/internal/dsf"
 	"damaris/internal/metadata"
 	"damaris/internal/stats"
@@ -28,7 +29,6 @@ import (
 type pipeline struct {
 	persister Persister
 	scheduler Scheduler
-	workers   int
 	maxBatch  int
 	jobs      chan persistJob
 	wg        sync.WaitGroup
@@ -47,6 +47,7 @@ type pipeline struct {
 
 	mu        sync.Mutex
 	closed    bool
+	ws        control.WorkerSet // resizable writer-slot bookkeeping
 	nextSeq   int64
 	ackSeq    int64                 // all seqs < ackSeq have been acked
 	done      map[int64]persistDone // completed seqs awaiting contiguous ack
@@ -55,7 +56,7 @@ type pipeline struct {
 	depthAcc  stats.Accumulator // queue depth sampled at submit/complete
 	latAcc    stats.Accumulator // submit→durable seconds, per iteration
 	batchAcc  stats.Accumulator // iterations per persist call
-	busy      []float64         // per-writer seconds spent persisting
+	recentLat float64           // last observed submit→durable latency
 	enqueued  int64
 	completed int64
 	failures  int64
@@ -86,8 +87,9 @@ type persistDone struct {
 // job, then greedily drains whatever else is already queued so one durable
 // persister call can cover several iterations (amortizing per-call costs —
 // file creation, fsync — exactly where a slow persister hurts most). When a
-// Scheduler is present batching is disabled, since each iteration must wait
-// for its own transfer slot (paper §IV-D).
+// Scheduler is present that is not batch-aware, batching is disabled, since
+// each iteration must then wait for its own transfer slot (paper §IV-D); a
+// BatchScheduler keeps batching on and waits once per batch instead.
 func newPipeline(persister Persister, scheduler Scheduler, workers, depth int,
 	onDurable func(it int64, persistDur, latency float64, bytes int64, err error)) *pipeline {
 	if workers < 1 {
@@ -98,24 +100,49 @@ func newPipeline(persister Persister, scheduler Scheduler, workers, depth int,
 	}
 	maxBatch := depth
 	if scheduler != nil {
-		maxBatch = 1
+		if _, ok := scheduler.(BatchScheduler); !ok {
+			maxBatch = 1
+		}
 	}
 	p := &pipeline{
 		persister: persister,
 		scheduler: scheduler,
-		workers:   workers,
 		maxBatch:  maxBatch,
 		jobs:      make(chan persistJob, depth),
 		start:     time.Now(),
 		onDurable: onDurable,
 		done:      make(map[int64]persistDone),
-		busy:      make([]float64, workers),
 	}
-	p.wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go p.writer(w)
-	}
+	p.mu.Lock()
+	p.ws.Resize(workers, p.startWriter)
+	p.mu.Unlock()
 	return p
+}
+
+// startWriter launches one writer goroutine in its slot. Caller holds p.mu
+// (control.WorkerSet.Resize invokes it under the pool's lock).
+func (p *pipeline) startWriter(slot int, stop chan struct{}) {
+	p.wg.Add(1)
+	go p.writer(slot, stop)
+}
+
+// resize changes the commanded writer count between iterations — the
+// control plane's writer-pool knob. Growing starts fresh writers on the
+// shared queue; shrinking signals the newest writers to exit after their
+// current batch (slot semantics in control.WorkerSet). The pool never
+// drops below one writer, and resizing never affects durability ordering:
+// acks still advance strictly by submission seq, which is independent of
+// which (or how many) writers complete the work. Must not race close.
+func (p *pipeline) resize(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.ws.Resize(n, p.startWriter)
 }
 
 // submit hands one completed iteration to the writers. It blocks while the
@@ -156,11 +183,30 @@ func (p *pipeline) close() {
 }
 
 // writer is one persist goroutine: pop a job, drain a batch, make it
-// durable, release the chunks, ack.
-func (p *pipeline) writer(id int) {
+// durable, release the chunks, ack. A writer stopped by resize exits
+// between batches — never mid-batch, so every popped job is persisted.
+func (p *pipeline) writer(id int, stop chan struct{}) {
 	defer p.wg.Done()
 	batch := make([]persistJob, 0, p.maxBatch)
-	for job := range p.jobs {
+	for {
+		// Non-blocking stop check first: a closed stop wins even while jobs
+		// keep arriving (the blocking select picks arbitrarily between ready
+		// cases).
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		var job persistJob
+		var ok bool
+		select {
+		case <-stop:
+			return
+		case job, ok = <-p.jobs:
+			if !ok {
+				return
+			}
+		}
 		batch = append(batch[:0], job)
 		for len(batch) < p.maxBatch {
 			extra, ok := tryRecv(p.jobs)
@@ -189,6 +235,22 @@ func (p *pipeline) persistAndAck(id int, batch []persistJob) {
 	start := time.Now()
 	errs := make([]error, len(batch))
 	if bp, ok := p.persister.(BatchPersister); ok && len(batch) > 1 {
+		// A batch-aware scheduler waits once per batch, for the slot of the
+		// batch's first iteration (§IV-D slots composed with write-behind
+		// batching; non-batch-aware schedulers never see batches — maxBatch
+		// is 1 then).
+		if bs, ok := p.scheduler.(BatchScheduler); ok {
+			lo, hi := batch[0].it, batch[0].it
+			for _, j := range batch[1:] {
+				if j.it < lo {
+					lo = j.it
+				}
+				if j.it > hi {
+					hi = j.it
+				}
+			}
+			bs.WaitTurnBatch(lo, hi)
+		}
 		ib := make([]IterationBatch, len(batch))
 		for i, j := range batch {
 			ib[i] = IterationBatch{Iteration: j.it, Entries: j.entries}
@@ -225,7 +287,7 @@ func (p *pipeline) persistAndAck(id int, batch []persistJob) {
 	perIt := dur / float64(len(batch))
 	p.ackMu.Lock()
 	p.mu.Lock()
-	p.busy[id] += dur
+	p.ws.AddBusy(id, dur)
 	p.batchAcc.Add(float64(len(batch)))
 	for i, j := range batch {
 		p.completed++
@@ -233,6 +295,7 @@ func (p *pipeline) persistAndAck(id int, batch []persistJob) {
 		p.depthAcc.Add(float64(p.inFlight))
 		lat := now.Sub(j.submitted).Seconds()
 		p.latAcc.Add(lat)
+		p.recentLat = lat
 		if errs[i] != nil {
 			p.failures++
 		}
@@ -265,10 +328,17 @@ func (p *pipeline) persistAndAck(id int, batch []persistJob) {
 // metrics, exported through Server.PipelineStats and reported by
 // cmd/damaris-run.
 type PipelineStats struct {
-	// Workers is the writer goroutine count (0 = synchronous baseline).
+	// Workers is the effective (possibly auto-tuned) writer goroutine count
+	// (0 = synchronous baseline).
 	Workers int
 	// QueueDepth is the configured bound on in-flight iterations.
 	QueueDepth int
+	// Window is the effective client flow-window depth (equals QueueDepth
+	// under static control; the tuner moves it in auto mode). 1 in the
+	// synchronous baseline.
+	Window int
+	// Resizes counts live writer-pool size changes (control.Tuner activity).
+	Resizes int64
 	// Enqueued and Completed count iterations through the pipeline.
 	Enqueued, Completed int64
 	// Failures counts iterations whose persist returned an error.
@@ -283,9 +353,14 @@ type PipelineStats struct {
 	FlushLatency stats.Summary
 	// BatchSize summarizes iterations per persister call.
 	BatchSize stats.Summary
-	// WriterBusy is seconds each writer spent inside the persister.
+	// WriterBusy is seconds each writer spent inside the persister, one
+	// slot per writer ever started (auto-control resizes never reuse a
+	// slot, so a long run may list more slots than Workers).
 	WriterBusy []float64
-	// Utilization is Σbusy/(workers×wall) over the pipeline's lifetime.
+	// Utilization is Σbusy/(peak×wall) over the pipeline's lifetime, where
+	// peak is the historical maximum commanded pool size — under auto
+	// control a shrunk pool therefore reads as utilization of the peak,
+	// not of the current Workers count.
 	Utilization float64
 	// Encode snapshots the shared chunk-encode pool (zero when
 	// encode_workers is 0 or the persister does not support pooled
@@ -295,6 +370,9 @@ type PipelineStats struct {
 	// (zero when the persister exposes none). Filled by
 	// Server.PipelineStats, not by the pipeline itself.
 	Store store.Stats
+	// Control snapshots the adaptive control plane (zero under static
+	// control). Filled by Server.PipelineStats.
+	Control control.Stats
 	// Aggregate snapshots the node-level aggregation tier. Only the node's
 	// leader server reports it (siblings report zero), so summing across
 	// servers counts each node exactly once. Filled by Server.PipelineStats.
@@ -307,14 +385,25 @@ type PipelineStats struct {
 	AggregateForwarded int64
 }
 
+// tuneSample cheaply reads the telemetry the control plane consumes every
+// iteration: the most recent submit→durable latency and the instantaneous
+// in-flight depth (the backpressure tell — a lifetime mean would lag regime
+// changes). No allocation — it runs on the event loop.
+func (p *pipeline) tuneSample() (recentLat, depth float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recentLat, float64(p.inFlight)
+}
+
 // snapshot captures the pipeline metrics at a point in time.
 func (p *pipeline) snapshot(queueDepth int) PipelineStats {
 	wall := time.Since(p.start).Seconds()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PipelineStats{
-		Workers:      p.workers,
+		Workers:      p.ws.Workers(),
 		QueueDepth:   queueDepth,
+		Resizes:      p.ws.Resizes(),
 		Enqueued:     p.enqueued,
 		Completed:    p.completed,
 		Failures:     p.failures,
@@ -322,7 +411,7 @@ func (p *pipeline) snapshot(queueDepth int) PipelineStats {
 		Depth:        p.depthAcc.Summary(),
 		FlushLatency: p.latAcc.Summary(),
 		BatchSize:    p.batchAcc.Summary(),
-		WriterBusy:   append([]float64(nil), p.busy...),
-		Utilization:  stats.Utilization(p.busy, wall),
+		WriterBusy:   p.ws.Busy(),
+		Utilization:  p.ws.Utilization(wall),
 	}
 }

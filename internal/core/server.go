@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"damaris/internal/config"
+	"damaris/internal/control"
 	"damaris/internal/dsf"
 	"damaris/internal/event"
 	"damaris/internal/metadata"
@@ -22,6 +23,18 @@ import (
 type Scheduler interface {
 	// WaitTurn blocks until this server's slot for the iteration opens.
 	WaitTurn(iteration int64)
+}
+
+// BatchScheduler is an optional Scheduler extension the write-behind
+// pipeline probes for: a scheduler that understands batch-sized slots keeps
+// multi-iteration batching enabled (one wait per batch, covering the
+// batch's combined slot span) instead of forcing one-slot-per-iteration
+// writes. schedule.SlotScheduler implements it.
+type BatchScheduler interface {
+	Scheduler
+	// WaitTurnBatch blocks until this server's slot for a batch covering
+	// iterations [first,last] opens.
+	WaitTurnBatch(first, last int64)
 }
 
 // Server is the dedicated-core side of Damaris: it pulls events from the
@@ -46,6 +59,11 @@ type Server struct {
 	encPool   *dsf.EncodePool // nil when encode_workers is 0
 	ownStore  store.Backend   // backend this server opened (and must close)
 	agg       *serverAgg      // aggregation-layer state; nil when disabled
+	tuner     *control.Tuner  // nil under static control
+	clock     control.Clock   // decision clock
+	tuneEvery time.Duration   // decision interval (heavy-sample rate limit)
+	lastIter  time.Time       // previous iteration-completion instant (event loop only)
+	lastHeavy time.Time       // previous encode/store/ring sampling instant (event loop only)
 
 	closeOnce sync.Once
 
@@ -69,8 +87,12 @@ type segmentCloser interface {
 	FreeBytes() int64
 }
 
+// newServer builds a dedicated-core server. windowCap, when positive,
+// bounds the control plane's flow-window range to what the shared buffer
+// can hold (Deploy derives it from the segment size and the estimated
+// write-phase volume); 0 means no buffer-derived cap.
 func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmentCloser,
-	fc *flow, worldRank, node, group int, opts Options, sagg *serverAgg) (*Server, error) {
+	fc *flow, worldRank, node, group int, opts Options, sagg *serverAgg, windowCap int) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		eng:       eng,
@@ -126,9 +148,93 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		}
 		s.persister = p
 	}
+	if cfg.ControlAuto() {
+		// Adaptive control plane: the configured knobs become the starting
+		// point of a feedback-tuned range. Config.Validate has already
+		// rejected auto mode without an asynchronous pipeline. The wall
+		// clock is the only sensible clock here — every latency in the
+		// sample is wall-time; deterministic convergence is tested at the
+		// Tuner level (internal/control, iostrat.SimulateControl), where
+		// the whole sample is synthetic.
+		s.clock = control.RealClock()
+		// Unset bounds default to the package defaults, widened to cover the
+		// configured starting sizes (an explicit max_* attribute instead
+		// clamps them — the user asked for that bound).
+		maxWriters := cfg.ControlMaxWriters
+		if maxWriters == 0 {
+			maxWriters = control.DefaultMaxWriters
+			if cfg.PersistWorkers > maxWriters {
+				maxWriters = cfg.PersistWorkers
+			}
+		}
+		maxWindow := cfg.ControlMaxWindow
+		if maxWindow == 0 {
+			maxWindow = control.DefaultMaxWindow
+			if cfg.PersistQueueDepth > maxWindow {
+				maxWindow = cfg.PersistQueueDepth
+			}
+		}
+		// The encode dimension covers only the pool this server owns (the
+		// one it created, or the aggregation leader's adopted pool): an
+		// externally attached pool may be shared across servers, where
+		// several controllers issuing conflicting Resize targets would
+		// thrash it — the same cross-server interference reason the server
+		// never installs pools on external persisters. Servers without an
+		// owned pool run with the encode dimension off (Encode 0).
+		ownEncode := s.encPool.Workers()
+		maxEncode := cfg.ControlMaxEncode
+		if maxEncode == 0 {
+			maxEncode = control.DefaultMaxEncode
+			if ownEncode > maxEncode {
+				maxEncode = ownEncode
+			}
+		}
+		if windowCap > 0 && maxWindow > windowCap {
+			// The buffer-derived bound wins: opening the window past what the
+			// shared segment can pin would deadlock clients, not hide latency.
+			maxWindow = windowCap
+		}
+		t, err := control.New(control.Config{
+			Mode: "auto",
+			Initial: control.Sizes{
+				Writers: cfg.PersistWorkers,
+				Window:  cfg.PersistQueueDepth,
+				Encode:  ownEncode,
+			},
+			Limits: control.Limits{
+				MaxWriters: maxWriters,
+				MaxWindow:  maxWindow,
+				MaxEncode:  maxEncode,
+			},
+			Interval: time.Duration(cfg.ControlIntervalMS) * time.Millisecond,
+			Clock:    s.clock,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d: %w", worldRank, err)
+		}
+		s.tuner = t
+		s.tuneEvery = time.Duration(cfg.ControlIntervalMS) * time.Millisecond
+		if s.tuneEvery == 0 {
+			s.tuneEvery = control.DefaultInterval
+		}
+		// The clamped initial sizes are the effective starting configuration.
+		if fc != nil {
+			fc.setWindow(int64(t.Sizes().Window))
+		}
+	}
 	if cfg.PersistWorkers > 0 {
+		workers, depth := cfg.PersistWorkers, cfg.PersistQueueDepth
+		if s.tuner != nil {
+			workers = s.tuner.Sizes().Writers
+			// The queue must be able to carry the widest window the tuner may
+			// open; the effective backpressure point is the flow window, which
+			// the tuner moves inside [1, MaxWindow].
+			if lim := s.tuner.Limits(); lim.MaxWindow > depth {
+				depth = lim.MaxWindow
+			}
+		}
 		s.pipe = newPipeline(s.persister, s.scheduler,
-			cfg.PersistWorkers, cfg.PersistQueueDepth, s.iterationDurable)
+			workers, depth, s.iterationDurable)
 	}
 	eng.OnIterationEnd = s.flushIteration
 	eng.OnAllExited = func() error {
@@ -285,6 +391,11 @@ func (s *Server) flushIteration(it int64) error {
 	}
 	if s.pipe != nil {
 		s.pipe.submit(it, entries)
+		// Control plane: observe this iteration boundary and, at most once
+		// per decision interval, re-size the writer pool, flow window and
+		// encode pool. Resizing happens here — between iterations, on the
+		// event loop — never mid-write.
+		s.tune()
 		return nil
 	}
 
@@ -307,6 +418,60 @@ func (s *Server) flushIteration(it int64) error {
 		return flushError{fmt.Errorf("core: server %d: persist iteration %d: %w", s.id, it, err)}
 	}
 	return nil
+}
+
+// tune feeds one telemetry sample to the control plane and applies any
+// decision it returns. Called from the event loop at iteration boundaries
+// only; a nil tuner (static mode) makes it a no-op.
+func (s *Server) tune() {
+	if s.tuner == nil || s.pipe == nil {
+		return
+	}
+	now := s.clock.Now()
+	var gap float64
+	if !s.lastIter.IsZero() {
+		gap = now.Sub(s.lastIter).Seconds()
+	}
+	s.lastIter = now
+
+	recentLat, depth := s.pipe.tuneSample()
+	sample := control.Sample{
+		FlushLatency: recentLat,
+		Interval:     gap,
+		QueueDepth:   depth,
+		RingFill:     -1, // no ring sample this iteration
+	}
+	// The encode/store/ring figures require full stats snapshots (summary
+	// construction under their mutexes) — too heavy for every iteration of
+	// the event loop. They change slowly, so sample them at the decision
+	// cadence; in between, zero fields mean "no signal" and leave the
+	// tuner's smoothed state untouched.
+	if s.lastHeavy.IsZero() || now.Sub(s.lastHeavy) >= s.tuneEvery {
+		s.lastHeavy = now
+		if s.encPool != nil {
+			sample.EncodeLatency = s.encPool.Stats().Latency.Mean
+		}
+		if ss, ok := s.persister.(StoreStatser); ok {
+			sample.StoreLatency = ss.StoreStats().PutLatency.Mean
+		}
+		if s.agg != nil {
+			sample.RingFill = s.agg.agg.RingOccupancy()
+		}
+	}
+
+	sizes, changed := s.tuner.Observe(sample)
+	if !changed {
+		return
+	}
+	s.pipe.resize(sizes.Writers)
+	if s.fc != nil {
+		s.fc.setWindow(int64(sizes.Window))
+	}
+	if sizes.Encode > 0 {
+		// Only the pool this server owns is ever resized (see the Encode
+		// dimension note in newServer); sizes.Encode stays 0 otherwise.
+		s.encPool.Resize(sizes.Encode)
+	}
 }
 
 // iterationDurable records one iteration's durability and advances the
@@ -411,6 +576,7 @@ func (s *Server) PipelineStats() PipelineStats {
 	if s.pipe == nil {
 		s.mu.Lock()
 		ps = PipelineStats{
+			Window:       1,
 			Enqueued:     int64(len(s.flushLats)),
 			Completed:    int64(len(s.flushLats)),
 			Failures:     s.syncFails,
@@ -419,7 +585,12 @@ func (s *Server) PipelineStats() PipelineStats {
 		s.mu.Unlock()
 	} else {
 		ps = s.pipe.snapshot(s.cfg.PersistQueueDepth)
+		ps.Window = s.cfg.PersistQueueDepth
+		if s.fc != nil {
+			ps.Window = int(s.fc.windowSize())
+		}
 	}
+	ps.Control = s.tuner.Stats()
 	// Report the pool this server owns, or the one an external persister
 	// carries; nil pools yield zero stats.
 	pool := s.encPool
@@ -447,6 +618,34 @@ func (s *Server) PipelineStats() PipelineStats {
 		}
 	}
 	return ps
+}
+
+// EffectiveSizes reports the live (possibly auto-tuned) concurrency
+// configuration: persist writers (0 = synchronous baseline), client
+// flow-window depth and encode workers. Under static control these are
+// exactly the configured knobs; under auto control they are wherever the
+// tuner currently sits — what damaris-run's report lines print.
+func (s *Server) EffectiveSizes() (writers, window, encode int) {
+	window = 1
+	if s.pipe != nil {
+		snap := s.pipe.snapshot(s.cfg.PersistQueueDepth)
+		writers = snap.Workers
+		window = s.cfg.PersistQueueDepth
+	}
+	if s.fc != nil && s.pipe != nil {
+		window = int(s.fc.windowSize())
+	}
+	// Report whatever pool actually encodes for this server — owned or
+	// carried by an external persister (the latter is never resized by the
+	// control plane, but its size is still the effective one).
+	pool := s.encPool
+	if pool == nil {
+		if pp, ok := s.persister.(interface{ EncodePool() *dsf.EncodePool }); ok {
+			pool = pp.EncodePool()
+		}
+	}
+	encode = pool.Workers()
+	return writers, window, encode
 }
 
 // Persister is the persistency layer invoked once per completed iteration

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"damaris/internal/control"
 	"damaris/internal/stats"
 	"damaris/internal/transform"
 )
@@ -95,21 +96,22 @@ type encodeResult struct {
 
 // EncodePool is a shared pool of chunk-encode workers. One pool serves a
 // whole dedicated core (all its persist writers submit to it), sized by the
-// encode_workers config knob. Methods are safe for concurrent use; all of
-// them tolerate a nil receiver, which behaves as "no pool" (serial encode).
+// encode_workers config knob — or, under the adaptive control plane, resized
+// live between iterations by control.Tuner. Methods are safe for concurrent
+// use; all of them tolerate a nil receiver, which behaves as "no pool"
+// (serial encode).
 type EncodePool struct {
-	workers int
-	jobs    chan encodeJob
-	wg      sync.WaitGroup
-	start   time.Time
+	jobs  chan encodeJob
+	wg    sync.WaitGroup
+	start time.Time
 
 	mu          sync.Mutex
+	ws          control.WorkerSet // resizable worker-slot bookkeeping
 	chunks      int64
 	rawBytes    int64
 	storedBytes int64
 	failures    int64
 	latAcc      stats.Accumulator
-	busy        []float64
 	inFlight    int64
 	maxInFlight int64
 }
@@ -120,29 +122,58 @@ func NewEncodePool(workers int) *EncodePool {
 	if workers <= 0 {
 		return nil
 	}
+	// The handoff buffer anticipates growth: a pool started small and grown
+	// by Resize (auto control) would otherwise keep a near-rendezvous
+	// channel that starves the added workers.
+	queueCap := workers
+	if queueCap < 8 {
+		queueCap = 8
+	}
 	p := &EncodePool{
-		workers: workers,
-		jobs:    make(chan encodeJob, workers),
-		start:   time.Now(),
-		busy:    make([]float64, workers),
+		jobs:  make(chan encodeJob, queueCap),
+		start: time.Now(),
 	}
-	p.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go p.worker(i)
-	}
+	p.mu.Lock()
+	p.ws.Resize(workers, p.startWorker)
+	p.mu.Unlock()
 	return p
 }
 
-// Workers returns the pool size (0 for a nil pool).
+// startWorker launches one encode goroutine in its slot. Caller holds p.mu
+// (control.WorkerSet.Resize invokes it under the pool's lock).
+func (p *EncodePool) startWorker(slot int, stop chan struct{}) {
+	p.wg.Add(1)
+	go p.worker(slot, stop)
+}
+
+// Workers returns the commanded pool size (0 for a nil pool).
 func (p *EncodePool) Workers() int {
 	if p == nil {
 		return 0
 	}
-	return p.workers
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ws.Workers()
 }
 
-// Close stops the workers after draining submitted jobs. No WriteChunks call
-// may be in flight or submitted afterwards.
+// Resize changes the commanded worker count, growing new goroutines or
+// signalling the newest ones to stop after their current chunk (slot
+// semantics in control.WorkerSet). The pool never shrinks below one worker
+// (a drained pool would deadlock WriteChunks), and a nil pool ignores the
+// call — the controller treats "no pool" as a fixed serial deployment.
+// Resizing never changes output bytes: WriteChunks streams in submission
+// order for any worker count. Must not race Close.
+func (p *EncodePool) Resize(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ws.Resize(n, p.startWorker)
+}
+
+// Close stops the workers after draining submitted jobs. No WriteChunks or
+// Resize call may be in flight or submitted afterwards.
 func (p *EncodePool) Close() {
 	if p == nil {
 		return
@@ -151,24 +182,40 @@ func (p *EncodePool) Close() {
 	p.wg.Wait()
 }
 
-func (p *EncodePool) worker(id int) {
+func (p *EncodePool) worker(id int, stop chan struct{}) {
 	defer p.wg.Done()
-	for job := range p.jobs {
-		start := time.Now()
-		ec, err := encodeChunk(job.data, job.codec, job.elemSize, job.level)
-		dur := time.Since(start).Seconds()
-		p.mu.Lock()
-		p.busy[id] += dur
-		p.latAcc.Add(dur)
-		p.chunks++
-		p.rawBytes += int64(len(job.data))
-		if err != nil {
-			p.failures++
-		} else {
-			p.storedBytes += int64(len(ec.stored))
+	for {
+		// A stopped worker exits between chunks: the non-blocking check runs
+		// first so a closed stop wins even while jobs keep arriving (the
+		// blocking select below picks arbitrarily between ready cases).
+		select {
+		case <-stop:
+			return
+		default:
 		}
-		p.mu.Unlock()
-		job.result <- encodeResult{ec: ec, err: err}
+		select {
+		case <-stop:
+			return
+		case job, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			start := time.Now()
+			ec, err := encodeChunk(job.data, job.codec, job.elemSize, job.level)
+			dur := time.Since(start).Seconds()
+			p.mu.Lock()
+			p.ws.AddBusy(id, dur)
+			p.latAcc.Add(dur)
+			p.chunks++
+			p.rawBytes += int64(len(job.data))
+			if err != nil {
+				p.failures++
+			} else {
+				p.storedBytes += int64(len(ec.stored))
+			}
+			p.mu.Unlock()
+			job.result <- encodeResult{ec: ec, err: err}
+		}
 	}
 }
 
@@ -202,11 +249,16 @@ type EncodeStats struct {
 	RawBytes, StoredBytes int64
 	// Latency summarizes per-chunk encode seconds.
 	Latency stats.Summary
-	// Utilization is Σbusy/(workers×wall) since the pool started.
+	// Utilization is Σbusy/(peak×wall) since the pool started, where peak
+	// is the historical maximum commanded pool size — under auto control a
+	// shrunk pool reads as utilization of the peak, not of the current
+	// Workers count.
 	Utilization float64
 	// MaxBytesInFlight is the high-water mark of raw bytes submitted to the
 	// pool but not yet streamed out.
 	MaxBytesInFlight int64
+	// Resizes counts live worker-count changes (control.Tuner activity).
+	Resizes int64
 }
 
 // Stats snapshots the pool's metrics (zero value for a nil pool).
@@ -218,14 +270,15 @@ func (p *EncodePool) Stats() EncodeStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return EncodeStats{
-		Workers:          p.workers,
+		Workers:          p.ws.Workers(),
 		Chunks:           p.chunks,
 		Failures:         p.failures,
 		RawBytes:         p.rawBytes,
 		StoredBytes:      p.storedBytes,
 		Latency:          p.latAcc.Summary(),
-		Utilization:      stats.Utilization(p.busy, wall),
+		Utilization:      p.ws.Utilization(wall),
 		MaxBytesInFlight: p.maxInFlight,
+		Resizes:          p.ws.Resizes(),
 	}
 }
 
@@ -256,7 +309,12 @@ func (w *Writer) WriteChunks(metas []ChunkMeta, datas [][]byte, pool *EncodePool
 		return nil
 	}
 
-	window := 2 * pool.workers
+	// The outstanding-chunk window follows the pool size at call time; a
+	// concurrent Resize applies to subsequent batches.
+	window := 2 * pool.Workers()
+	if window < 2 {
+		window = 2
+	}
 	if window > len(metas) {
 		window = len(metas)
 	}

@@ -1,0 +1,149 @@
+package dsf
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"damaris/internal/layout"
+)
+
+// resizeWorkload builds a batch of compressible chunks.
+func resizeWorkload(t *testing.T, chunks int) ([]ChunkMeta, [][]byte) {
+	t.Helper()
+	l, err := layout.New(layout.Float32, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas := make([]ChunkMeta, chunks)
+	datas := make([][]byte, chunks)
+	for i := range metas {
+		metas[i] = ChunkMeta{Name: "v", Iteration: int64(i), Source: i, Layout: l, Codec: ShuffleGzip}
+		data := make([]byte, l.Bytes())
+		for j := range data {
+			data[j] = byte(i + j%7)
+		}
+		datas[i] = data
+	}
+	return metas, datas
+}
+
+// encodeTo writes the workload through a pool into a buffer.
+func encodeTo(t *testing.T, pool *EncodePool, metas []ChunkMeta, datas [][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunks(metas, datas, pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Output bytes are identical across any live resize sequence — the property
+// the control plane's determinism invariant rests on.
+func TestEncodePoolResizeDeterministic(t *testing.T) {
+	metas, datas := resizeWorkload(t, 64)
+
+	ref := encodeTo(t, nil, metas, datas) // serial baseline
+
+	pool := NewEncodePool(2)
+	defer pool.Close()
+	for round, n := range []int{1, 4, 2, 7, 1, 3} {
+		pool.Resize(n)
+		if got := pool.Workers(); got != n {
+			t.Fatalf("round %d: Workers() = %d after Resize(%d)", round, got, n)
+		}
+		if got := encodeTo(t, pool, metas, datas); !bytes.Equal(got, ref) {
+			t.Fatalf("round %d (workers=%d): output differs from serial baseline", round, n)
+		}
+	}
+	if st := pool.Stats(); st.Resizes == 0 {
+		t.Fatalf("Resizes = %d, want the live resizes counted", st.Resizes)
+	}
+}
+
+// Resizing while WriteChunks batches are in flight must not lose, duplicate
+// or reorder chunks (run under -race in CI).
+func TestEncodePoolResizeConcurrentWithWrites(t *testing.T) {
+	metas, datas := resizeWorkload(t, 32)
+	ref := encodeTo(t, nil, metas, datas)
+
+	pool := NewEncodePool(2)
+	defer pool.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{1, 3, 2, 5, 4, 1}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pool.Resize(sizes[i%len(sizes)])
+		}
+	}()
+
+	var werr error
+	var once sync.Once
+	var writers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 10; i++ {
+				var buf bytes.Buffer
+				wr, err := NewWriter(&buf)
+				if err == nil {
+					err = wr.WriteChunks(metas, datas, pool)
+				}
+				if err == nil {
+					err = wr.Close()
+				}
+				if err == nil && !bytes.Equal(buf.Bytes(), ref) {
+					err = fmt.Errorf("iteration %d: output differs under concurrent resize", i)
+				}
+				if err != nil {
+					once.Do(func() { werr = err })
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+}
+
+// Resize floors at one worker and ignores nil pools.
+func TestEncodePoolResizeBounds(t *testing.T) {
+	var nilPool *EncodePool
+	nilPool.Resize(4) // must not panic
+	if nilPool.Workers() != 0 {
+		t.Fatal("nil pool has workers")
+	}
+
+	pool := NewEncodePool(3)
+	defer pool.Close()
+	pool.Resize(0)
+	if got := pool.Workers(); got != 1 {
+		t.Fatalf("Resize(0) left %d workers, want the floor of 1", got)
+	}
+	metas, datas := resizeWorkload(t, 8)
+	if got := encodeTo(t, pool, metas, datas); len(got) == 0 {
+		t.Fatal("single-worker pool produced no output")
+	}
+}

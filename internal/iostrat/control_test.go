@@ -1,0 +1,96 @@
+package iostrat
+
+import (
+	"testing"
+
+	"damaris/internal/cluster"
+	"damaris/internal/control"
+)
+
+// A healthy platform (flush latency well under the compute interval) must
+// drive the simulated controller down to the synchronous baseline — writers
+// and window both 1 — and stay there.
+func TestControlSimShrinksOnFastPlatform(t *testing.T) {
+	plat := cluster.Kraken()
+	pts, err := SimulateControl(plat, Options{Cores: 8 * plat.CoresPerNode, Seed: 42},
+		ControlSimConfig{
+			Epochs:  40,
+			Initial: control.Sizes{Writers: 4, Window: 8},
+			Limits:  control.Limits{MaxWriters: 8, MaxWindow: 8},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1].Sizes
+	if last.Writers != 1 || last.Window != 1 {
+		t.Fatalf("fast platform settled at %+v, want the synchronous baseline 1/1 (ratio %.3g)",
+			last, pts[len(pts)-1].Ratio)
+	}
+	settled := ControlSettled(pts)
+	if settled < 0 || settled > len(pts)-5 {
+		t.Fatalf("curve still moving: settled at epoch %d of %d", settled, len(pts))
+	}
+}
+
+// Inflating the per-core volume until flushes outlast the compute interval
+// must open the window/writers — and the curve must still settle inside the
+// limits despite the platform's per-epoch jitter.
+func TestControlSimOpensUnderPressureAndSettles(t *testing.T) {
+	plat := cluster.Grid5000()
+	lim := control.Limits{MaxWriters: 6, MaxWindow: 10}
+	pts, err := SimulateControl(plat, Options{
+		Cores: 8 * plat.CoresPerNode,
+		Seed:  7,
+		// ~200x the platform volume: the modeled flush now dwarfs the
+		// compute interval, the regime the write-behind window exists for.
+		BytesPerCore: plat.BytesPerCore * 200,
+	}, ControlSimConfig{
+		Epochs:  60,
+		Initial: control.Sizes{Writers: 1, Window: 1},
+		Limits:  lim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1]
+	if last.Ratio <= 1 {
+		t.Fatalf("pressure scenario produced ratio %.3g, want > 1", last.Ratio)
+	}
+	if last.Sizes.Writers <= 1 && last.Sizes.Window <= 1 {
+		t.Fatalf("controller never opened under pressure: %+v", last.Sizes)
+	}
+	for _, p := range pts {
+		if p.Sizes.Writers < 1 || p.Sizes.Writers > lim.MaxWriters ||
+			p.Sizes.Window < 1 || p.Sizes.Window > lim.MaxWindow {
+			t.Fatalf("epoch %d escaped limits: %+v", p.Epoch, p.Sizes)
+		}
+	}
+	if settled := ControlSettled(pts); settled > len(pts)-5 {
+		t.Fatalf("curve still moving at the end (settled index %d of %d)", settled, len(pts))
+	}
+}
+
+// The simulated curve is deterministic for a given seed.
+func TestControlSimDeterministic(t *testing.T) {
+	plat := cluster.BluePrint()
+	run := func() []ControlPoint {
+		pts, err := SimulateControl(plat, Options{Cores: 4 * plat.CoresPerNode, Seed: 3},
+			ControlSimConfig{Epochs: 20, Initial: control.Sizes{Writers: 2, Window: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestControlSimValidation(t *testing.T) {
+	if _, err := SimulateControl(cluster.Kraken(), Options{Cores: 12}, ControlSimConfig{Epochs: 0}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}

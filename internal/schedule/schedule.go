@@ -96,3 +96,39 @@ func (s *SlotScheduler) WaitTurn(iteration int64) {
 		s.clock.Sleep(wait)
 	}
 }
+
+// BatchSlotWidth returns the combined slot width a batch covering
+// iterations [first,last] claims: the batch writes once but stands in for
+// last-first+1 per-iteration writes, so it owns that many of this core's
+// slots back to back.
+func (s *SlotScheduler) BatchSlotWidth(first, last int64) time.Duration {
+	if last < first {
+		last = first
+	}
+	return time.Duration(last-first+1) * s.SlotWidth()
+}
+
+// WaitTurnBatch blocks until this core's batch-sized slot opens — the
+// batch-aware §IV-D composition with write-behind batching. A batch
+// spanning [first,last] stands in for last-first+1 per-iteration writes,
+// so the span's iterations are re-divided into one batch-sized slot per
+// core: slot i opens at the span's start plus i×BatchSlotWidth. When
+// sibling cores batch the same span — the steady-backlog case, since all
+// cores fall behind the same storage — their batch slots tile the span
+// exactly like their per-iteration slots would have (k=1 reduces to
+// WaitTurn) and staggered cores never write concurrently. Batching is
+// opportunistic, though, so transiently uneven batch sizes can overlap
+// slots: like the per-iteration schedule when a core falls behind, the
+// slots are a contention heuristic, and correctness never depends on
+// them. Like WaitTurn, a slot already in the past returns immediately.
+func (s *SlotScheduler) WaitTurnBatch(first, last int64) {
+	if last < first {
+		first, last = last, first
+	}
+	start := s.epoch.Add(time.Duration(first) * s.interval).
+		Add(time.Duration(s.index) * s.BatchSlotWidth(first, last))
+	now := s.clock.Now()
+	if wait := start.Sub(now); wait > 0 {
+		s.clock.Sleep(wait)
+	}
+}

@@ -132,3 +132,68 @@ func TestRealClockSmoke(t *testing.T) {
 		t.Fatal("WaitTurn hung on real clock")
 	}
 }
+
+func TestBatchSlotWidth(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	s, err := NewWithClock(1, 4, 100*time.Second, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BatchSlotWidth(3, 3); got != 25*time.Second {
+		t.Errorf("single-iteration batch width = %v, want one slot", got)
+	}
+	if got := s.BatchSlotWidth(2, 5); got != 100*time.Second {
+		t.Errorf("4-iteration batch width = %v, want 4 slots", got)
+	}
+	if got := s.BatchSlotWidth(5, 2); got != 25*time.Second {
+		t.Errorf("inverted span width = %v, want the single-slot floor", got)
+	}
+}
+
+func TestWaitTurnBatchTilesBatchSizedSlots(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	s, err := NewWithClock(2, 4, 100*time.Second, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch [1,3] (3 iterations): batch slots are 75s wide; core 2's opens
+	// at the span start (iteration 1 = 100s) + 2*75s = 250s.
+	s.WaitTurnBatch(1, 3)
+	if len(clock.slept) != 1 || clock.slept[0] != 250*time.Second {
+		t.Fatalf("slept %v, want one 250s wait", clock.slept)
+	}
+	// A batch slot already in the past returns immediately.
+	clock.slept = nil
+	s.WaitTurnBatch(0, 1)
+	if len(clock.slept) != 0 {
+		t.Fatalf("past batch slot slept %v", clock.slept)
+	}
+	// Inverted order normalizes to the same span.
+	clock.now = time.Unix(0, 0)
+	clock.slept = nil
+	s.WaitTurnBatch(3, 1)
+	if len(clock.slept) != 1 || clock.slept[0] != 250*time.Second {
+		t.Fatalf("inverted span slept %v, want one 250s wait", clock.slept)
+	}
+	// A single-iteration batch is exactly WaitTurn: core 2's slot for
+	// iteration 0 opens at 50s.
+	clock.now = time.Unix(0, 0)
+	clock.slept = nil
+	s.WaitTurnBatch(0, 0)
+	if len(clock.slept) != 1 || clock.slept[0] != 50*time.Second {
+		t.Fatalf("single-iteration batch slept %v, want one 50s wait", clock.slept)
+	}
+	// Sibling cores' batch slots over the same span never overlap: core
+	// i's slot is [100+i*75, 100+(i+1)*75).
+	for i := 0; i < 4; i++ {
+		si, err := NewWithClock(i, 4, 100*time.Second, &fakeClock{now: time.Unix(0, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		si.SetEpoch(time.Unix(0, 0))
+		start := time.Unix(0, 0).Add(100 * time.Second).Add(time.Duration(i) * si.BatchSlotWidth(1, 3))
+		if want := time.Unix(int64(100+i*75), 0); !start.Equal(want) {
+			t.Fatalf("core %d batch slot opens at %v, want %v", i, start, want)
+		}
+	}
+}
