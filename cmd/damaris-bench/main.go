@@ -12,6 +12,9 @@
 //	damaris-bench -store-bench     # benchmark the storage backends and emit
 //	                               # BENCH_store.json (allocs + determinism,
 //	                               # dedupe and byte-identity checks)
+//	damaris-bench -gateway-bench   # benchmark the read gateway and emit
+//	                               # BENCH_gateway.json (cold/warm latency
+//	                               # ratio, warm allocs/op, cache hit rates)
 package main
 
 import (
@@ -39,7 +42,10 @@ func main() {
 		aggregateOut = flag.String("aggregate-out", "BENCH_aggregate.json", "output path for -aggregate-bench")
 		controlBench = flag.Bool("control-bench", false,
 			"benchmark the adaptive control plane (simulated convergence curves, observe-path allocs, static-vs-auto byte parity) and emit a JSON report")
-		controlOut = flag.String("control-out", "BENCH_control.json", "output path for -control-bench")
+		controlOut   = flag.String("control-out", "BENCH_control.json", "output path for -control-bench")
+		gatewayBench = flag.Bool("gateway-bench", false,
+			"benchmark the read gateway (cold vs warm full-object reads, warm-path allocs, cache hit rates, zero-backend-Gets warm gate) and emit a JSON report")
+		gatewayOut = flag.String("gateway-out", "BENCH_gateway.json", "output path for -gateway-bench")
 	)
 	flag.Parse()
 
@@ -74,6 +80,14 @@ func main() {
 
 	if *controlBench {
 		if err := runControlBench(*controlOut); err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *gatewayBench {
+		if err := runGatewayBench(*gatewayOut); err != nil {
 			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
 			os.Exit(1)
 		}

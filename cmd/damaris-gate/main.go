@@ -1,0 +1,95 @@
+// Command damaris-gate is the stateless read gateway: it serves DSF data
+// out of any storage backend URL over HTTP, so analysis and visualization
+// clients read through gateway replicas instead of mounting the store.
+//
+// Usage:
+//
+//	damaris-gate -store obj:///data/objects -listen :8080
+//	damaris-gate -store obj:///data/objects -listen :8081 \
+//	    -peers http://host:8080,http://host:8081 -self 1
+//
+// With -peers, replicas partition objects by name hash (shared-nothing — no
+// coordination, any number of replicas over one store): requests for an
+// object another replica owns are 307-redirected there, or proxied with
+// -forward. See docs/gateway.md for the API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"damaris/internal/gateway"
+	"damaris/internal/store"
+)
+
+func main() {
+	var (
+		storeURL = flag.String("store", "", "storage backend URL to serve (required), e.g. obj:///data/objects")
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		peers    = flag.String("peers", "", "comma-separated base URLs of all gateway replicas (self included); empty = single replica")
+		self     = flag.Int("self", 0, "this replica's index into -peers")
+		forward  = flag.Bool("forward", false, "proxy misrouted requests to their owner instead of 307-redirecting")
+		partMB   = flag.Int64("part-cache-mb", gateway.DefaultPartCacheBytes>>20, "LRU part cache budget in MiB")
+		fetchers = flag.Int("fetch-workers", gateway.DefaultFetchWorkers, "bound on concurrent backend part fetches")
+		tocN     = flag.Int("toc-cache", gateway.DefaultTOCEntries, "bound on cached decoded manifests/TOCs")
+		statsDur = flag.Duration("stats-interval", 0, "print a stats line at this interval (0 = off)")
+	)
+	flag.Parse()
+	if *storeURL == "" {
+		fmt.Fprintln(os.Stderr, "usage: damaris-gate -store URL [-listen addr] [-peers a,b,... -self i [-forward]]")
+		os.Exit(2)
+	}
+	backend, err := store.Open(*storeURL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "damaris-gate:", err)
+		os.Exit(1)
+	}
+	defer backend.Close()
+
+	cfg := gateway.Config{
+		Backend:        backend,
+		PartCacheBytes: *partMB << 20,
+		FetchWorkers:   *fetchers,
+		TOCEntries:     *tocN,
+		Self:           *self,
+		Forward:        *forward,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
+	g, err := gateway.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "damaris-gate:", err)
+		os.Exit(1)
+	}
+
+	if *statsDur > 0 {
+		go func() {
+			for range time.Tick(*statsDur) {
+				s := g.Stats()
+				fmt.Printf("gateway: req=%d toc(hit=%.0f%%) parts(hit=%.0f%% %dB/%d) gets=%d served=%dB routed=%d\n",
+					s.Requests, 100*s.TOCHitRate(), 100*s.PartHitRate(),
+					s.PartCacheBytes, s.PartCacheParts, s.BackendGets, s.BytesServed,
+					s.Forwards+s.Redirects)
+			}
+		}()
+	}
+
+	replicas := len(cfg.Peers)
+	if replicas == 0 {
+		replicas = 1
+	}
+	fmt.Printf("damaris-gate: serving %s on %s (replica %d/%d)\n", *storeURL, *listen, *self, replicas)
+	if err := http.ListenAndServe(*listen, g.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "damaris-gate:", err)
+		os.Exit(1)
+	}
+}

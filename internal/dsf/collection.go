@@ -21,10 +21,10 @@ type chunkRef struct {
 	chunk int // index within the file
 }
 
-// OpenCollection opens every file matching the glob pattern (or the given
-// explicit paths when the argument contains no glob metacharacters but
-// multiple calls are needed, use OpenFiles). Files are ordered by name so
-// iteration order is stable for the damaris persister's naming scheme.
+// OpenCollection opens every file matching the glob pattern as one
+// collection. Matches are sorted by name before opening, so iteration order
+// is stable under the damaris persister's naming scheme. To open an
+// explicit list of paths instead of a pattern, use OpenFiles.
 func OpenCollection(pattern string) (*Collection, error) {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
@@ -49,7 +49,7 @@ func OpenFiles(paths []string) (*Collection, error) {
 			c.Close()
 			return nil, fmt.Errorf("dsf: collection member %s: %w", p, err)
 		}
-		for i := range r.Chunks() {
+		for i := 0; i < r.NumChunks(); i++ {
 			c.index = append(c.index, chunkRef{file: len(c.readers), chunk: i})
 		}
 		c.readers = append(c.readers, r)
@@ -76,13 +76,14 @@ func (c *Collection) Files() []string { return append([]string(nil), c.paths...)
 // Len returns the total chunk count across all files.
 func (c *Collection) Len() int { return len(c.index) }
 
-// Chunk returns the metadata of the i-th chunk of the collection.
+// Chunk returns the metadata of the i-th chunk of the collection (a copy,
+// like Reader.Chunk).
 func (c *Collection) Chunk(i int) (ChunkMeta, error) {
 	if i < 0 || i >= len(c.index) {
 		return ChunkMeta{}, fmt.Errorf("dsf: collection chunk %d out of range [0,%d)", i, len(c.index))
 	}
 	ref := c.index[i]
-	return c.readers[ref.file].Chunks()[ref.chunk], nil
+	return copyMeta(c.readers[ref.file].metas[ref.chunk]), nil
 }
 
 // ReadChunk returns the decoded payload of the i-th chunk.
@@ -98,7 +99,7 @@ func (c *Collection) ReadChunk(i int) ([]byte, error) {
 func (c *Collection) Variables() []string {
 	seen := make(map[string]bool)
 	for _, ref := range c.index {
-		seen[c.readers[ref.file].Chunks()[ref.chunk].Name] = true
+		seen[c.readers[ref.file].metas[ref.chunk].Name] = true
 	}
 	out := make([]string, 0, len(seen))
 	for n := range seen {
@@ -112,7 +113,7 @@ func (c *Collection) Variables() []string {
 func (c *Collection) Iterations() []int64 {
 	seen := make(map[int64]bool)
 	for _, ref := range c.index {
-		seen[c.readers[ref.file].Chunks()[ref.chunk].Iteration] = true
+		seen[c.readers[ref.file].metas[ref.chunk].Iteration] = true
 	}
 	out := make([]int64, 0, len(seen))
 	for it := range seen {
@@ -123,21 +124,34 @@ func (c *Collection) Iterations() []int64 {
 }
 
 // Select returns the collection-level indices of all chunks of one variable
-// at one iteration, sorted by source — the set a reassembly needs.
+// at one iteration, sorted by source — the set a reassembly needs. The
+// sources are captured once during the scan, not re-fetched (with errors
+// discarded) on every comparator call.
 func (c *Collection) Select(name string, iteration int64) []int {
 	var out []int
+	var sources []int
 	for i, ref := range c.index {
-		m := c.readers[ref.file].Chunks()[ref.chunk]
+		m := &c.readers[ref.file].metas[ref.chunk]
 		if m.Name == name && m.Iteration == iteration {
 			out = append(out, i)
+			sources = append(sources, m.Source)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		ma, _ := c.Chunk(out[a])
-		mb, _ := c.Chunk(out[b])
-		return ma.Source < mb.Source
-	})
+	sort.Sort(&bySource{idx: out, src: sources})
 	return out
+}
+
+// bySource co-sorts selected indices by their captured sources.
+type bySource struct {
+	idx []int
+	src []int
+}
+
+func (s *bySource) Len() int           { return len(s.idx) }
+func (s *bySource) Less(a, b int) bool { return s.src[a] < s.src[b] }
+func (s *bySource) Swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.src[a], s.src[b] = s.src[b], s.src[a]
 }
 
 // Verify checks every chunk of every member file.

@@ -449,11 +449,57 @@ func (r *Reader) load() error {
 	return nil
 }
 
-// Chunks lists the chunk metadata in file order.
-func (r *Reader) Chunks() []ChunkMeta { return r.metas }
+// Chunks lists the chunk metadata in file order. The returned slice is a
+// copy (Global blocks included) — callers may reorder or rewrite it without
+// corrupting reader state, the same contract Collection.Files() gives.
+// Readers are shared across concurrent requests in the read gateway, so
+// internal state must never leak through an accessor.
+func (r *Reader) Chunks() []ChunkMeta {
+	out := make([]ChunkMeta, len(r.metas))
+	for i, m := range r.metas {
+		out[i] = copyMeta(m)
+	}
+	return out
+}
 
-// Attributes returns the file-level attributes.
-func (r *Reader) Attributes() map[string]string { return r.attrs }
+// copyMeta deep-copies the meta's aliasable parts. Layout is already
+// defensive (Extents returns a copy); Global's Start/Count slices are not.
+func copyMeta(m ChunkMeta) ChunkMeta {
+	if m.Global.Valid() {
+		m.Global = layout.Block{
+			Start: append([]int64(nil), m.Global.Start...),
+			Count: append([]int64(nil), m.Global.Count...),
+		}
+	}
+	return m
+}
+
+// NumChunks returns the chunk count without copying any metadata.
+func (r *Reader) NumChunks() int { return len(r.metas) }
+
+// Chunk returns a copy of the i-th chunk's metadata.
+func (r *Reader) Chunk(i int) (ChunkMeta, error) {
+	if i < 0 || i >= len(r.metas) {
+		return ChunkMeta{}, fmt.Errorf("dsf: chunk index %d out of range [0,%d)", i, len(r.metas))
+	}
+	return copyMeta(r.metas[i]), nil
+}
+
+// Attributes returns a copy of the file-level attributes; mutating it does
+// not touch reader state.
+func (r *Reader) Attributes() map[string]string {
+	out := make(map[string]string, len(r.attrs))
+	for k, v := range r.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// Attribute returns one file-level attribute without copying the map.
+func (r *Reader) Attribute(key string) (string, bool) {
+	v, ok := r.attrs[key]
+	return v, ok
+}
 
 // ReadChunk returns the decoded payload of chunk index i, verifying its
 // checksum.

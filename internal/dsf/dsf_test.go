@@ -338,3 +338,68 @@ func TestQuickChunkRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAccessorAliasing proves Chunks() and Attributes() return state no
+// caller can corrupt: the read gateway shares one Reader across concurrent
+// requests, so a handler scribbling on returned metadata must never change
+// what the next request sees.
+func TestAccessorAliasing(t *testing.T) {
+	path := tmpfile(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetAttribute("unit", "K")
+	lay := layout.MustNew(layout.Float32, 4)
+	meta := ChunkMeta{
+		Name: "theta", Iteration: 3, Source: 7, Layout: lay, Codec: None,
+		Global: layout.Block{Start: []int64{8}, Count: []int64{4}},
+	}
+	if err := w.WriteChunk(meta, mpi.Float32sToBytes([]float32{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Mutate everything reachable through the accessors.
+	chunks := r.Chunks()
+	chunks[0].Name = "corrupted"
+	chunks[0].Iteration = -1
+	chunks[0].Global.Start[0] = 999
+	chunks[0].Global.Count[0] = -5
+	attrs := r.Attributes()
+	attrs["unit"] = "corrupted"
+	attrs["extra"] = "x"
+
+	got := r.Chunks()
+	if got[0].Name != "theta" || got[0].Iteration != 3 {
+		t.Fatalf("chunk meta corrupted through accessor: %+v", got[0])
+	}
+	if got[0].Global.Start[0] != 8 || got[0].Global.Count[0] != 4 {
+		t.Fatalf("global block corrupted through accessor: %+v", got[0].Global)
+	}
+	if v := r.Attributes()["unit"]; v != "K" {
+		t.Fatalf("attribute corrupted through accessor: %q", v)
+	}
+	if _, ok := r.Attributes()["extra"]; ok {
+		t.Fatal("attribute map insertion leaked into reader state")
+	}
+	if v, ok := r.Attribute("unit"); !ok || v != "K" {
+		t.Fatalf("Attribute(unit) = %q, %v", v, ok)
+	}
+	if m, err := r.Chunk(0); err != nil || m.Name != "theta" {
+		t.Fatalf("Chunk(0) = %+v, %v", m, err)
+	}
+	if _, err := r.Chunk(1); err == nil {
+		t.Fatal("Chunk(1) out of range should error")
+	}
+	if r.Find("theta", 3, 7) != 0 {
+		t.Fatal("Find no longer locates the chunk after accessor mutation")
+	}
+}

@@ -334,6 +334,28 @@ func (r *fileObjReader) ReadAt(p []byte, off int64) (int, error) {
 func (r *fileObjReader) Size() int64  { return r.size }
 func (r *fileObjReader) Close() error { return r.f.Close() }
 
+// StatObject reports the object's revalidation signature: for this backend
+// the file itself is what commits the object, so its size and mtime are the
+// signature.
+func (s *FileStore) StatObject(object string) (ObjectStat, error) {
+	if err := validName(object); err != nil {
+		return ObjectStat{}, err
+	}
+	if err := opFault(s.fault, OpStat, object); err != nil {
+		s.metrics.recordFailure()
+		return ObjectStat{}, err
+	}
+	fi, err := os.Stat(s.Path(object))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ObjectStat{}, fmt.Errorf("store: stat object %q: %w", object, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return ObjectStat{}, fmt.Errorf("store: stat object %q: %w", object, err)
+	}
+	return ObjectStat{Size: fi.Size(), ModTime: fi.ModTime()}, nil
+}
+
 // Objects lists the committed objects — every visible file under the root.
 func (s *FileStore) Objects() ([]ObjectInfo, error) { return s.List("") }
 

@@ -599,6 +599,15 @@ func (s *ObjStore) Objects() ([]ObjectInfo, error) {
 // Open returns random access over a committed object, resolving reads
 // through its manifest to the content-addressed parts.
 func (s *ObjStore) Open(object string) (ObjectReader, error) {
+	return s.OpenCached(object, nil)
+}
+
+// OpenCached is Open with an external digest-addressed part cache attached:
+// the reader consults it before every backend Get and feeds fetched parts
+// back into it. Because parts are content-addressed, one cached part serves
+// every object that references the same bytes — the hook the read gateway's
+// LRU plugs into. A nil cache degrades to plain Open.
+func (s *ObjStore) OpenCached(object string, cache PartCache) (ObjectReader, error) {
 	if err := opFault(s.fault, OpOpen, object); err != nil {
 		s.metrics.recordFailure()
 		return nil, err
@@ -607,7 +616,7 @@ func (s *ObjStore) Open(object string) (ObjectReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &objReader{s: s, m: m, offsets: make([]int64, len(m.Parts)+1), cached: -1}
+	r := &objReader{s: s, m: m, cache: cache, offsets: make([]int64, len(m.Parts)+1), cached: -1}
 	var off int64
 	for i, p := range m.Parts {
 		r.offsets[i] = off
@@ -620,14 +629,44 @@ func (s *ObjStore) Open(object string) (ObjectReader, error) {
 	return r, nil
 }
 
+// StatObject reports the committed object's revalidation signature: the
+// size and mtime of its manifest file. Any manifest change (there should be
+// none — objects are write-once — but operators can overwrite) changes the
+// signature, which is what cache layers key invalidation on.
+func (s *ObjStore) StatObject(object string) (ObjectStat, error) {
+	if err := validName(object); err != nil {
+		return ObjectStat{}, err
+	}
+	if err := opFault(s.fault, OpStat, object); err != nil {
+		s.metrics.recordFailure()
+		return ObjectStat{}, err
+	}
+	fi, err := os.Stat(s.manifestPath(object))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ObjectStat{}, fmt.Errorf("store: stat object %q: %w", object, ErrNotExist)
+		}
+		s.metrics.recordFailure()
+		return ObjectStat{}, fmt.Errorf("store: stat object %q: %w", object, err)
+	}
+	return ObjectStat{Size: fi.Size(), ModTime: fi.ModTime()}, nil
+}
+
 // objReader maps ReadAt offsets onto manifest parts, caching the most
 // recently fetched part — DSF's read pattern (header, footer, TOC, then
-// ascending chunks) makes that one-slot cache effective.
+// ascending chunks) makes that one-slot cache effective for a single
+// sequential reader. Concurrent readers with interleaved offsets would
+// thrash the one slot; they should share an external PartCache
+// (OpenCached), which absorbs the interleaving.
 type objReader struct {
 	s       *ObjStore
 	m       *Manifest
-	offsets []int64 // offsets[i] is part i's start; last entry is the size
+	cache   PartCache // optional external digest-addressed cache
+	offsets []int64   // offsets[i] is part i's start; last entry is the size
 
+	// mu guards only the one-slot cache fields. It is never held across a
+	// backend Get: holding it there would serialize every concurrent reader
+	// of the object behind one slow fetch.
 	mu      sync.Mutex
 	cached  int
 	partBuf []byte
@@ -649,31 +688,66 @@ func (r *objReader) partAt(off int64) int {
 	return i
 }
 
+// fetchPart returns part i's bytes, consulting the external cache first.
+// The returned slice is immutable by contract — it may be shared with the
+// cache and with other readers.
+func (r *objReader) fetchPart(i int) ([]byte, error) {
+	part := r.m.Parts[i]
+	key := PartCacheKey(part)
+	if r.cache != nil {
+		if b, ok := r.cache.GetPart(key); ok && int64(len(b)) == part.Size {
+			return b, nil
+		}
+	}
+	b, err := r.s.Get(part.Blob)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) != part.Size {
+		return nil, fmt.Errorf("store: part %q is %d bytes, manifest says %d",
+			part.Blob, len(b), part.Size)
+	}
+	if r.cache != nil {
+		r.cache.AddPart(key, b)
+	}
+	return b, nil
+}
+
 func (r *objReader) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("store: negative read offset %d", off)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	// io.ReaderAt contract: a read starting at or past the end reports
+	// io.EOF even for a zero-length p — callers probe for EOF this way.
+	if off >= r.m.Size {
+		return 0, io.EOF
+	}
 	total := 0
 	for len(p) > 0 {
 		if off >= r.m.Size {
 			return total, io.EOF
 		}
 		i := r.partAt(off)
-		if r.cached != i {
-			b, err := r.s.Get(r.m.Parts[i].Blob)
+		// Fast path: the one-slot cache, locked only for the pointer read.
+		// Part buffers are immutable once installed, so copying from buf
+		// outside the lock is safe even if another reader replaces the slot.
+		r.mu.Lock()
+		var buf []byte
+		if r.cached == i {
+			buf = r.partBuf
+		}
+		r.mu.Unlock()
+		if buf == nil {
+			b, err := r.fetchPart(i) // backend fetch happens unlocked
 			if err != nil {
 				return total, err
 			}
-			if int64(len(b)) != r.m.Parts[i].Size {
-				return total, fmt.Errorf("store: part %q is %d bytes, manifest says %d",
-					r.m.Parts[i].Blob, len(b), r.m.Parts[i].Size)
-			}
-			r.partBuf = b
-			r.cached = i
+			r.mu.Lock()
+			r.cached, r.partBuf = i, b
+			r.mu.Unlock()
+			buf = b
 		}
-		n := copy(p, r.partBuf[off-r.offsets[i]:])
+		n := copy(p, buf[off-r.offsets[i]:])
 		p = p[n:]
 		off += int64(n)
 		total += n

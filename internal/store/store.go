@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Tuning defaults, used when Options or URL queries leave a knob zero.
@@ -101,6 +102,53 @@ type ObjectReader interface {
 	ReadAt(p []byte, off int64) (int, error)
 	Size() int64
 	Close() error
+}
+
+// PartCache is an external cache object readers may consult before fetching
+// a part from the backend — the seam the read gateway's bounded LRU plugs
+// into. Keys come from PartCacheKey, so content-addressed parts are shared
+// across every object referencing the same bytes. Stored slices are
+// immutable by contract: neither the cache nor its callers may mutate them.
+// Implementations must be safe for concurrent use.
+type PartCache interface {
+	// GetPart returns the cached bytes for key, if present.
+	GetPart(key string) ([]byte, bool)
+	// AddPart offers bytes to the cache; the cache may decline (bounded
+	// caches evict or refuse oversized entries).
+	AddPart(key string, data []byte)
+}
+
+// CachedOpener is implemented by backends whose object readers can resolve
+// parts through an external PartCache.
+type CachedOpener interface {
+	OpenCached(object string, cache PartCache) (ObjectReader, error)
+}
+
+// PartCacheKey is the cache key of one manifest part: the content digest
+// when the backend is content-addressed (one cached part then serves every
+// object referencing it), the blob name otherwise.
+func PartCacheKey(p Part) string {
+	if p.SHA256 != "" {
+		return "sha256:" + p.SHA256
+	}
+	return "blob:" + p.Blob
+}
+
+// ObjectStat is a committed object's revalidation signature: the size and
+// modification time of whatever artifact makes the object visible (the
+// manifest file for the object store, the object file itself for the file
+// backend). Equal signatures mean the object is unchanged; any difference
+// invalidates caches built over it.
+type ObjectStat struct {
+	Size    int64
+	ModTime time.Time
+}
+
+// ObjectStater is implemented by backends that can report an object's
+// revalidation signature without reading object data — the cheap probe
+// cache layers revalidate with.
+type ObjectStater interface {
+	StatObject(object string) (ObjectStat, error)
 }
 
 // Backend is the storage seam every persistence target implements.

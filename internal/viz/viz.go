@@ -165,11 +165,15 @@ func copyBlock(f *Field, c Chunk, idx []int64, dim int) {
 	idx[dim] = 0
 }
 
-// FromReader assembles a variable's iteration from a DSF file's chunks.
+// FromChunkSource assembles a variable's iteration from any chunk source:
+// metas enumerate the available chunks and read returns the decoded payload
+// of one of them by index. This is the query path that no longer assumes
+// local files — the source can be a dsf.Reader over a file, an object
+// store's manifest-resolved stream, or the read gateway's cached reader.
 // Only float32 chunks with global placement participate.
-func FromReader(r *dsf.Reader, name string, iteration int64) (*Field, error) {
+func FromChunkSource(metas []dsf.ChunkMeta, read func(i int) ([]byte, error), name string, iteration int64) (*Field, error) {
 	var chunks []Chunk
-	for i, m := range r.Chunks() {
+	for i, m := range metas {
 		if m.Name != name || m.Iteration != iteration {
 			continue
 		}
@@ -179,7 +183,7 @@ func FromReader(r *dsf.Reader, name string, iteration int64) (*Field, error) {
 		if !m.Global.Valid() {
 			return nil, fmt.Errorf("viz: chunk %d of %q has no global placement", i, name)
 		}
-		raw, err := r.ReadChunk(i)
+		raw, err := read(i)
 		if err != nil {
 			return nil, err
 		}
@@ -189,6 +193,12 @@ func FromReader(r *dsf.Reader, name string, iteration int64) (*Field, error) {
 		return nil, fmt.Errorf("viz: no chunks of %q iteration %d", name, iteration)
 	}
 	return Assemble(chunks)
+}
+
+// FromReader assembles a variable's iteration from a DSF reader's chunks —
+// FromChunkSource over the reader's own metadata and decode path.
+func FromReader(r *dsf.Reader, name string, iteration int64) (*Field, error) {
+	return FromChunkSource(r.Chunks(), r.ReadChunk, name, iteration)
 }
 
 // ASCIIRender draws a horizontal slice (fixed first coordinate, for 3D
