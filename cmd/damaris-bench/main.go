@@ -15,6 +15,10 @@
 //	damaris-bench -gateway-bench   # benchmark the read gateway and emit
 //	                               # BENCH_gateway.json (cold/warm latency
 //	                               # ratio, warm allocs/op, cache hit rates)
+//	damaris-bench -resilience-bench # run the overload-resilience gates
+//	                               # (scratch spill under brownout, hedged
+//	                               # puts over a hung primary) and emit
+//	                               # BENCH_resilience.json
 package main
 
 import (
@@ -45,7 +49,10 @@ func main() {
 		controlOut   = flag.String("control-out", "BENCH_control.json", "output path for -control-bench")
 		gatewayBench = flag.Bool("gateway-bench", false,
 			"benchmark the read gateway (cold vs warm full-object reads, warm-path allocs, cache hit rates, zero-backend-Gets warm gate) and emit a JSON report")
-		gatewayOut = flag.String("gateway-out", "BENCH_gateway.json", "output path for -gateway-bench")
+		gatewayOut      = flag.String("gateway-out", "BENCH_gateway.json", "output path for -gateway-bench")
+		resilienceBench = flag.Bool("resilience-bench", false,
+			"run the overload-resilience gates (spill under brownout with byte-identity and bounded stall, hedged puts over a hung primary) and emit a JSON report")
+		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "output path for -resilience-bench")
 	)
 	flag.Parse()
 
@@ -88,6 +95,14 @@ func main() {
 
 	if *gatewayBench {
 		if err := runGatewayBench(*gatewayOut); err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *resilienceBench {
+		if err := runResilienceBench(*resilienceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
 			os.Exit(1)
 		}

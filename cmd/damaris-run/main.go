@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"damaris/internal/cm1"
 	"damaris/internal/config"
@@ -50,6 +51,12 @@ func main() {
 			"storage backend URL for the damaris persistency layer (file://dir | obj://dir; empty = DSF files in -out)")
 		storePartSize = flag.Int64("store-part-size", 0,
 			"object-store multipart split in bytes (0 = backend default)")
+		storePutTimeout = flag.Int("store-put-timeout", 0,
+			"per-part put deadline in milliseconds; a hung target converts to a retryable timeout (0 = no deadline)")
+		spillDir = flag.String("spill-dir", "",
+			"local scratch directory for degraded-mode spill; empty disables (see docs/resilience.md)")
+		spillAfter = flag.Int("spill-after", config.DefaultSpillAfter,
+			"consecutive backpressured iterations before the event loop spills to scratch")
 		storePutWorkers = flag.Int("store-put-workers", 0,
 			"bounded parallel part-upload pool size (0 = backend default)")
 		aggregate = flag.String("aggregate", "off",
@@ -72,7 +79,7 @@ func main() {
 	if err := run(*ranks, *coresPerNode, *steps, *outputEvery, *outDir,
 		*backend, *compress, *bufMB, *allocator, *persistWork, *persistQueue,
 		*encodeWork, *gzipLevel, *persistBackend, *storePartSize, *storePutWorkers,
-		*aggregate, *aggregateRing,
+		*storePutTimeout, *spillDir, *spillAfter, *aggregate, *aggregateRing,
 		*controlMode, *controlInterval, *controlMaxWorkers, *controlMaxWindow, *controlMaxEncode); err != nil {
 		fmt.Fprintln(os.Stderr, "damaris-run:", err)
 		os.Exit(1)
@@ -82,7 +89,8 @@ func main() {
 func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	compress bool, bufMB int64, allocator string, persistWork, persistQueue,
 	encodeWork, gzipLevel int, persistBackend string, storePartSize int64,
-	storePutWorkers int, aggregate string, aggregateRing int,
+	storePutWorkers, storePutTimeout int, spillDir string, spillAfter int,
+	aggregate string, aggregateRing int,
 	controlMode string, controlInterval, controlMaxWorkers, controlMaxWindow, controlMaxEncode int) error {
 	if ranks%coresPerNode != 0 {
 		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
@@ -128,6 +136,9 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		cfg.PersistBackend = persistBackend
 		cfg.StorePartSize = storePartSize
 		cfg.StorePutWorkers = storePutWorkers
+		cfg.StorePutTimeoutMS = storePutTimeout
+		cfg.SpillDir = spillDir
+		cfg.SpillAfter = spillAfter
 		cfg.AggregateMode = aggregate
 		cfg.AggregateRingDepth = aggregateRing
 		cfg.ControlMode = controlMode
@@ -145,6 +156,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 			sharedStore, err = store.OpenWith(persistBackend, store.Options{
 				PartSize:   storePartSize,
 				PutWorkers: storePutWorkers,
+				PutTimeout: time.Duration(storePutTimeout) * time.Millisecond,
 			})
 			if err != nil {
 				return err
@@ -223,6 +235,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		fmt.Printf("dedicated cores: %d flushes, write mean=%.2gs; spare total=%.2gs; %d bytes persisted\n",
 			ws.N, ws.Mean, stats.Mean(serverSpare), bytesWritten)
 		reportPipeline(pipeStats)
+		reportSpill(pipeStats)
 		reportControl(pipeStats, controlMode)
 		reportStore(pipeStats, sharedStore)
 		reportAggregate(pipeStats)
@@ -274,6 +287,35 @@ func reportPipeline(ps []core.PipelineStats) {
 	reportEncode(ps)
 }
 
+// reportSpill prints the degraded-mode scratch-spill activity, summed over
+// the dedicated cores. Silent when no spill directory is configured.
+func reportSpill(ps []core.PipelineStats) {
+	var spilled, recovered, replayed, bytes, failures int64
+	var stranded int
+	enabled := false
+	for _, s := range ps {
+		sp := s.Spill
+		if !sp.Enabled {
+			continue
+		}
+		enabled = true
+		spilled += sp.Spilled
+		recovered += sp.Recovered
+		replayed += sp.Replayed
+		bytes += sp.Bytes
+		failures += sp.Failures
+		stranded += sp.Stranded
+	}
+	if !enabled {
+		return
+	}
+	fmt.Printf("spill: %d iterations spilled (%d bytes), %d recovered from a previous run, %d replayed through the store; %d replay failures\n",
+		spilled, bytes, recovered, replayed, failures)
+	if stranded > 0 {
+		fmt.Printf("spill: %d iterations stranded on scratch disk (recovered on next start)\n", stranded)
+	}
+}
+
 // reportControl prints the adaptive control plane's activity and the
 // effective (post-tune) sizes per dedicated core. Static mode prints a
 // single marker line so every report names its control mode.
@@ -287,8 +329,16 @@ func reportControl(ps []core.PipelineStats, mode string) {
 		decisions += s.Control.Decisions
 		resizes += s.Control.Resizes
 	}
+	var degraded int64
+	for _, s := range ps {
+		degraded += s.Control.DegradedDecisions
+	}
 	fmt.Printf("control[auto]: %d decisions, %d resizes across %d dedicated cores\n",
 		decisions, resizes, len(ps))
+	if degraded > 0 {
+		fmt.Printf("control[auto]: %d decisions taken in degraded mode (spill backlog pending; window growth vetoed)\n",
+			degraded)
+	}
 	for i, s := range ps {
 		c := s.Control
 		fmt.Printf("control[auto]: core %d effective writers=%d window=%d encode=%d "+
@@ -314,6 +364,8 @@ func reportStore(ps []core.PipelineStats, shared store.Backend) {
 		}
 	}
 	var puts, putBytes, dedupe, dedupeBytes, retries, failures, commits, maxFlight int64
+	var backoffs, putTimeouts, hedges, hedgeWins int64
+	var backoffSec float64
 	var putLatMeans []float64
 	scheme := ""
 	for _, s := range agg {
@@ -325,6 +377,11 @@ func reportStore(ps []core.PipelineStats, shared store.Backend) {
 		retries += s.Retries
 		failures += s.Failures
 		commits += s.Commits
+		backoffs += s.Backoffs
+		backoffSec += s.BackoffSeconds
+		putTimeouts += s.PutTimeouts
+		hedges += s.Hedges
+		hedgeWins += s.HedgeWins
 		if s.MaxPartsInFlight > maxFlight {
 			maxFlight = s.MaxPartsInFlight
 		}
@@ -344,6 +401,10 @@ func reportStore(ps []core.PipelineStats, shared store.Backend) {
 		}
 		fmt.Printf("store[%s]: dedupe %d hits (%d bytes, %.0f%% of part uploads); %d retries, %d failures; max %d parts in flight\n",
 			scheme, dedupe, dedupeBytes, 100*rate, retries, failures, maxFlight)
+	}
+	if backoffs > 0 || putTimeouts > 0 || hedges > 0 {
+		fmt.Printf("store[%s]: %d backoff waits (%.2gs total), %d put timeouts; %d hedged puts, %d hedge wins\n",
+			scheme, backoffs, backoffSec, putTimeouts, hedges, hedgeWins)
 	}
 }
 

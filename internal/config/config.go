@@ -60,6 +60,28 @@
 //	    bytes (0 = backend default).
 //	  - put_workers (StorePutWorkers) bounds the parallel part-upload pool
 //	    (0 = backend default).
+//	  - put_timeout (StorePutTimeoutMS) is the per-Put deadline in
+//	    milliseconds (0 = none): a hung storage target converts to a
+//	    retryable error at the deadline instead of stalling the durability
+//	    watermark forever.
+//
+// # Degraded-mode scratch spill
+//
+// Overload resilience (docs/resilience.md) is selected by an optional
+// <spill> element:
+//
+//	<spill dir="/local/scratch" after="2"/>
+//
+//	  - dir (SpillDir) is the local directory each dedicated core keeps its
+//	    DSF-framed scratch file under. Once the pipeline queue has
+//	    backpressured for `after` consecutive iterations, the event loop
+//	    diverts the oldest queued iteration into the scratch file (locally
+//	    durable, chunks released early) and a background drainer replays it
+//	    through the normal store path when the backend recovers. Empty (or
+//	    absent element) disables spilling. Requires an asynchronous
+//	    pipeline; incompatible with aggregation.
+//	  - after (SpillAfter) is the consecutive-backpressure threshold
+//	    (absent = DefaultSpillAfter).
 //
 // # Aggregation
 //
@@ -153,6 +175,19 @@ type Config struct {
 	// StorePutWorkers bounds the object store's parallel part-upload pool
 	// (0 = backend default).
 	StorePutWorkers int
+	// StorePutTimeoutMS is the per-Put deadline in milliseconds (0 = none):
+	// a hung storage target converts to a retryable error at the deadline
+	// instead of stalling the durability watermark forever.
+	StorePutTimeoutMS int
+	// SpillDir, when non-empty, enables the degraded-mode scratch spill:
+	// each dedicated core keeps a local DSF-framed spill file under this
+	// directory and diverts iterations into it once the pipeline queue has
+	// backpressured for SpillAfter consecutive iterations. Requires an
+	// asynchronous pipeline and is incompatible with aggregation.
+	SpillDir string
+	// SpillAfter is the consecutive-backpressure count that triggers a
+	// spill (0 = DefaultSpillAfter).
+	SpillAfter int
 	// AggregateMode selects the aggregation tier in front of the storage
 	// backend: "" or "off" (one DSF stream per dedicated core), "core" (one
 	// merged object per node per flush epoch) or "node" (Damaris 2: one
@@ -205,6 +240,7 @@ type xmlFile struct {
 	Buffer   xmlBuffer     `xml:"buffer"`
 	Pipeline *xmlPipeline  `xml:"pipeline"`
 	Store    *xmlStore     `xml:"store"`
+	Spill    *xmlSpill     `xml:"spill"`
 	Aggr     *xmlAggregate `xml:"aggregate"`
 	Control  *xmlControl   `xml:"control"`
 	Layouts  []xmlLayout   `xml:"layout"`
@@ -235,6 +271,14 @@ type xmlStore struct {
 	Backend    string `xml:"backend,attr"`
 	PartSize   string `xml:"part_size,attr"`
 	PutWorkers string `xml:"put_workers,attr"`
+	PutTimeout string `xml:"put_timeout,attr"`
+}
+
+// xmlSpill enables the degraded-mode scratch spill; after is a string so
+// absent (default) is distinguishable from an explicit value.
+type xmlSpill struct {
+	Dir   string `xml:"dir,attr"`
+	After string `xml:"after,attr"`
 }
 
 // xmlAggregate selects the aggregation tier; ring is a string so absent
@@ -284,6 +328,9 @@ const (
 	DefaultPersistQueueDepth = 1
 	DefaultEncodeWorkers     = 0                       // serial in-writer encoding
 	DefaultPersistGzipLevel  = gzip.DefaultCompression // -1
+	// DefaultSpillAfter is the consecutive-backpressure count that triggers
+	// a scratch spill when <spill> enables one without an explicit after.
+	DefaultSpillAfter = 2
 )
 
 // Parse reads configuration XML from r.
@@ -428,6 +475,26 @@ func build(f *xmlFile) (*Config, error) {
 			}
 			c.StorePutWorkers = n
 		}
+		if f.Store.PutTimeout != "" {
+			n, err := strconv.Atoi(f.Store.PutTimeout)
+			if err != nil {
+				return nil, fmt.Errorf("config: store put timeout %q: %w", f.Store.PutTimeout, err)
+			}
+			c.StorePutTimeoutMS = n
+		}
+	}
+
+	// Degraded-mode scratch spill.
+	if f.Spill != nil {
+		c.SpillDir = f.Spill.Dir
+		c.SpillAfter = DefaultSpillAfter
+		if f.Spill.After != "" {
+			n, err := strconv.Atoi(f.Spill.After)
+			if err != nil {
+				return nil, fmt.Errorf("config: spill after %q: %w", f.Spill.After, err)
+			}
+			c.SpillAfter = n
+		}
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -547,6 +614,20 @@ func (c *Config) Validate() error {
 	}
 	if c.StorePutWorkers < 0 {
 		return fmt.Errorf("config: negative store put worker count %d", c.StorePutWorkers)
+	}
+	if c.StorePutTimeoutMS < 0 {
+		return fmt.Errorf("config: negative store put timeout %d ms", c.StorePutTimeoutMS)
+	}
+	if c.SpillAfter < 0 {
+		return fmt.Errorf("config: negative spill threshold %d", c.SpillAfter)
+	}
+	if c.SpillDir != "" {
+		if c.PersistWorkers == 0 {
+			return fmt.Errorf("config: scratch spill requires an asynchronous pipeline (persist workers >= 1), got workers=0")
+		}
+		if c.AggregateMode == "core" || c.AggregateMode == "node" {
+			return fmt.Errorf("config: scratch spill is incompatible with aggregation (mode %q): spilled chunks are released before the merge could read them", c.AggregateMode)
+		}
 	}
 	switch c.AggregateMode {
 	case "", "off", "core", "node":

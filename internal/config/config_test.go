@@ -323,6 +323,46 @@ func TestStoreValidation(t *testing.T) {
 		"negative part size":   `<simulation><store backend="obj://d" part_size="-4"/></simulation>`,
 		"negative put workers": `<simulation><store backend="obj://d" put_workers="-1"/></simulation>`,
 		"non-numeric part":     `<simulation><store part_size="big"/></simulation>`,
+		"negative put timeout": `<simulation><store backend="obj://d" put_timeout="-10"/></simulation>`,
+		"non-numeric timeout":  `<simulation><store backend="obj://d" put_timeout="soon"/></simulation>`,
+	}
+	for name, xml := range cases {
+		if _, err := ParseString(xml); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}
+
+func TestStorePutTimeoutAndSpillElements(t *testing.T) {
+	c, err := ParseString(`<simulation>
+		<store backend="obj:///d" put_timeout="500"/>
+		<spill dir="/local/scratch" after="3"/>
+	</simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StorePutTimeoutMS != 500 {
+		t.Errorf("put timeout = %d, want 500", c.StorePutTimeoutMS)
+	}
+	if c.SpillDir != "/local/scratch" || c.SpillAfter != 3 {
+		t.Errorf("spill = %q after=%d", c.SpillDir, c.SpillAfter)
+	}
+	// Absent after selects the default threshold.
+	c, err = ParseString(`<simulation><spill dir="/scratch"/></simulation>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SpillAfter != DefaultSpillAfter {
+		t.Errorf("default spill after = %d, want %d", c.SpillAfter, DefaultSpillAfter)
+	}
+}
+
+func TestSpillValidation(t *testing.T) {
+	cases := map[string]string{
+		"spill without pipeline": `<simulation><pipeline workers="0"/><spill dir="/s"/></simulation>`,
+		"spill with aggregation": `<simulation><aggregate mode="core"/><spill dir="/s"/></simulation>`,
+		"negative after":         `<simulation><spill dir="/s" after="-1"/></simulation>`,
+		"non-numeric after":      `<simulation><spill dir="/s" after="few"/></simulation>`,
 	}
 	for name, xml := range cases {
 		if _, err := ParseString(xml); err == nil {

@@ -134,6 +134,12 @@ type Sample struct {
 	// its capacity; negative means "no sample this observation" (0 is a
 	// real sample: an empty ring decays the saturation veto).
 	RingFill float64
+	// SpillActive reports that the pipeline's scratch-spill path holds
+	// iterations awaiting replay — the backend cannot keep up and the node
+	// is running in degraded mode. Unlike the latency fields this is a
+	// direct state bit, not smoothed: the veto must engage the moment
+	// spilling starts and release the moment the backlog drains.
+	SpillActive bool
 }
 
 // Config describes one Tuner.
@@ -171,6 +177,12 @@ type Stats struct {
 	// Ratio is the smoothed flush-latency/iteration-interval ratio driving
 	// the window and writer targets.
 	Ratio float64
+	// Degraded reports that the last observation carried an active spill
+	// backlog: the node is shedding load to local scratch and the tuner is
+	// vetoing window growth until the backlog drains.
+	Degraded bool
+	// DegradedDecisions counts decision points evaluated while degraded.
+	DegradedDecisions int64
 }
 
 // Tuner is the feedback controller. Observe is driven from a single
@@ -196,6 +208,8 @@ type Tuner struct {
 	decisions int64
 	resizes   int64
 	steady    int64
+	degraded  bool
+	degrDecs  int64
 	// Previous decision's wanted direction per dimension (-1, 0, +1): a size
 	// moves only when two consecutive decisions agree, so a smoothed ratio
 	// straddling an integer boundary (alternating targets n, n+1) parks
@@ -340,6 +354,7 @@ func (t *Tuner) Observe(s Sample) (Sizes, bool) {
 	if s.RingFill >= 0 {
 		t.ring.add(s.RingFill, t.alpha)
 	}
+	t.degraded = s.SpillActive
 
 	now := t.clock.Now()
 	if !t.started {
@@ -362,6 +377,9 @@ func (t *Tuner) Observe(s Sample) (Sizes, bool) {
 // smoothed fixed point instead of chasing each spike.
 func (t *Tuner) decide() (Sizes, bool) {
 	t.decisions++
+	if t.degraded {
+		t.degrDecs++
+	}
 	next := t.cur
 
 	if t.flush.set && t.gap.set && t.gap.v > 0 {
@@ -395,6 +413,13 @@ func (t *Tuner) decide() (Sizes, bool) {
 		// admission — is the bottleneck: hold (or pull back) the window
 		// rather than queueing more epochs behind the merge.
 		if t.ring.v >= ringVetoFill && targetWindow > t.cur.Window {
+			targetWindow = t.cur.Window
+		}
+		// Degraded mode (spill backlog awaiting replay) vetoes growth the
+		// same way: the backend is already underwater, and a wider window
+		// would admit client data faster than the drainer can replay it —
+		// growing the scratch file without hiding any latency.
+		if t.degraded && targetWindow > t.cur.Window {
 			targetWindow = t.cur.Window
 		}
 		// One writer per concurrently in-flight flush keeps the pool exactly
@@ -438,12 +463,14 @@ func (t *Tuner) Stats() Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	st := Stats{
-		Mode:      t.mode,
-		Decisions: t.decisions,
-		Resizes:   t.resizes,
-		Steady:    t.steady,
-		Sizes:     t.cur,
-		Limits:    t.limits,
+		Mode:              t.mode,
+		Decisions:         t.decisions,
+		Resizes:           t.resizes,
+		Steady:            t.steady,
+		Sizes:             t.cur,
+		Limits:            t.limits,
+		Degraded:          t.degraded,
+		DegradedDecisions: t.degrDecs,
 	}
 	if t.flush.set && t.gap.set && t.gap.v > 0 {
 		st.Ratio = t.flush.v / t.gap.v

@@ -208,6 +208,40 @@ func TestRingSaturationVetoesWindowGrowth(t *testing.T) {
 	}
 }
 
+// An active spill backlog (degraded mode) vetoes window growth exactly like
+// a saturated ring, reports Degraded, and releases the moment the backlog
+// drains.
+func TestDegradedModeVetoesWindowGrowth(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	tn := newAuto(t, clk, Sizes{Writers: 1, Window: 2}, Limits{MaxWindow: 10, MaxWriters: 10})
+	for i := 0; i < 30; i++ {
+		clk.Advance(DefaultInterval)
+		s, _ := tn.Observe(Sample{FlushLatency: 0.100, Interval: 0.001, RingFill: -1, SpillActive: true})
+		if s.Window > 2 {
+			t.Fatalf("window grew to %d while spilling", s.Window)
+		}
+	}
+	st := tn.Stats()
+	if !st.Degraded {
+		t.Fatal("Stats.Degraded false while spill active")
+	}
+	if st.DegradedDecisions == 0 {
+		t.Fatal("no degraded decisions counted")
+	}
+	// Backlog drains: the same latency regime may now open the window.
+	var s Sizes
+	for i := 0; i < 30; i++ {
+		clk.Advance(DefaultInterval)
+		s, _ = tn.Observe(Sample{FlushLatency: 0.100, Interval: 0.001, RingFill: -1})
+	}
+	if s.Window <= 2 {
+		t.Fatalf("window stuck at %d after the spill drained", s.Window)
+	}
+	if st := tn.Stats(); st.Degraded {
+		t.Fatal("Stats.Degraded stuck after drain")
+	}
+}
+
 // Decisions are rate-limited to the configured interval even when every
 // iteration observes.
 func TestDecisionRateLimit(t *testing.T) {

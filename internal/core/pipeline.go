@@ -45,6 +45,13 @@ type pipeline struct {
 	// only orders the state updates, not the calls after unlock).
 	ackMu sync.Mutex
 
+	// scratch, when attached, is the degraded-mode overflow; pressure
+	// counts consecutive submits that found the queue full. Both are
+	// touched only by the event loop (the sole submitter), so neither
+	// needs p.mu.
+	scratch  *scratch
+	pressure int
+
 	mu        sync.Mutex
 	closed    bool
 	ws        control.WorkerSet // resizable writer-slot bookkeeping
@@ -145,9 +152,22 @@ func (p *pipeline) resize(n int) {
 	p.ws.Resize(n, p.startWriter)
 }
 
+// attachScratch wires the degraded-mode spill path in. Must be called
+// before the first submit (the server does it right after newPipeline).
+func (p *pipeline) attachScratch(sc *scratch) { p.scratch = sc }
+
 // submit hands one completed iteration to the writers. It blocks while the
 // queue is full — the backpressure point for the event loop — and must not
 // be called after close.
+//
+// With a scratch attached, sustained backpressure changes the story: once
+// the queue has been full for `scratch.after` consecutive submits, the
+// event loop pulls the oldest queued iteration, spills it to the local
+// scratch file (fsynced — locally durable, so its chunks are released and
+// its ack fires through the normal in-order watermark), and enqueues the
+// new iteration in the freed slot. Clients therefore keep streaming at
+// local-disk speed while the backend is browned out, instead of freezing
+// behind the durability watermark.
 func (p *pipeline) submit(it int64, entries []*metadata.Entry) {
 	var bytes int64
 	for _, e := range entries {
@@ -163,7 +183,100 @@ func (p *pipeline) submit(it int64, entries []*metadata.Entry) {
 	}
 	p.depthAcc.Add(float64(p.inFlight))
 	p.mu.Unlock()
-	p.jobs <- persistJob{seq: seq, it: it, entries: entries, bytes: bytes, submitted: time.Now()}
+	job := persistJob{seq: seq, it: it, entries: entries, bytes: bytes, submitted: time.Now()}
+	if p.scratch == nil {
+		p.jobs <- job
+		return
+	}
+	select {
+	case p.jobs <- job:
+		p.pressure = 0
+		return
+	default:
+	}
+	p.pressure++
+	if p.pressure < p.scratch.after {
+		p.jobs <- job // backpressure below threshold: block as usual
+		return
+	}
+	for {
+		// Spill the oldest queued iteration — the lowest unacked seq among
+		// the queued, so acking it advances the watermark soonest. If a
+		// writer drained the queue in the meantime, the retry send just
+		// succeeds (the event loop is the only submitter).
+		if old, ok := tryRecv(p.jobs); ok {
+			p.spillJob(old)
+		}
+		select {
+		case p.jobs <- job:
+			return
+		default:
+		}
+	}
+}
+
+// spillJob diverts one iteration to the scratch file, releases its chunks,
+// and completes it through the ack watermark. A spill error (local disk
+// failure) surfaces as the iteration's persist error — there is nowhere
+// left to put the data.
+func (p *pipeline) spillJob(j persistJob) {
+	start := time.Now()
+	err := p.scratch.spill(j.it, j.entries)
+	dur := time.Since(start).Seconds()
+	for _, e := range j.entries {
+		e.Release()
+	}
+	p.completeOne(j, dur, err)
+}
+
+// completeOne records one iteration durable (or failed) outside the writer
+// path and advances the in-order ack watermark — persistAndAck's tail for
+// a single job.
+func (p *pipeline) completeOne(j persistJob, dur float64, err error) {
+	now := time.Now()
+	p.ackMu.Lock()
+	p.mu.Lock()
+	p.completed++
+	p.inFlight--
+	p.depthAcc.Add(float64(p.inFlight))
+	lat := now.Sub(j.submitted).Seconds()
+	p.latAcc.Add(lat)
+	p.recentLat = lat
+	if err != nil {
+		p.failures++
+	}
+	p.done[j.seq] = persistDone{it: j.it, persistDur: dur, latency: lat, bytes: j.bytes, err: err}
+	acks := p.drainAcksLocked()
+	p.mu.Unlock()
+	for _, d := range acks {
+		if p.onDurable != nil {
+			p.onDurable(d.it, d.persistDur, d.latency, d.bytes, d.err)
+		}
+	}
+	p.ackMu.Unlock()
+}
+
+// drainAcksLocked advances the ack watermark over every contiguous
+// completed seq. Caller holds both ackMu and p.mu; the returned acks must
+// be delivered (in order) before releasing ackMu.
+func (p *pipeline) drainAcksLocked() []persistDone {
+	var acks []persistDone
+	for {
+		d, ok := p.done[p.ackSeq]
+		if !ok {
+			break
+		}
+		delete(p.done, p.ackSeq)
+		p.ackSeq++
+		acks = append(acks, d)
+	}
+	return acks
+}
+
+// spillActive reports whether spilled iterations are still awaiting replay
+// — the tuner's degraded-mode signal.
+func (p *pipeline) spillActive() bool {
+	return p.scratch != nil && p.scratch.active()
 }
 
 // close stops accepting work, waits for the writers to drain every queued
@@ -302,16 +415,7 @@ func (p *pipeline) persistAndAck(id int, batch []persistJob) {
 		p.done[j.seq] = persistDone{it: j.it, persistDur: perIt, latency: lat, bytes: j.bytes, err: errs[i]}
 	}
 	// Advance the ack watermark over every contiguous completed seq.
-	var acks []persistDone
-	for {
-		d, ok := p.done[p.ackSeq]
-		if !ok {
-			break
-		}
-		delete(p.done, p.ackSeq)
-		p.ackSeq++
-		acks = append(acks, d)
-	}
+	acks := p.drainAcksLocked()
 	p.mu.Unlock()
 	// Deliver under ackMu (not p.mu, which writers need to complete other
 	// batches): a second writer advancing the watermark further must wait
@@ -370,6 +474,9 @@ type PipelineStats struct {
 	// (zero when the persister exposes none). Filled by
 	// Server.PipelineStats, not by the pipeline itself.
 	Store store.Stats
+	// Spill snapshots the degraded-mode scratch-spill path (zero when no
+	// scratch file is configured).
+	Spill SpillStats
 	// Control snapshots the adaptive control plane (zero under static
 	// control). Filled by Server.PipelineStats.
 	Control control.Stats
@@ -398,9 +505,14 @@ func (p *pipeline) tuneSample() (recentLat, depth float64) {
 // snapshot captures the pipeline metrics at a point in time.
 func (p *pipeline) snapshot(queueDepth int) PipelineStats {
 	wall := time.Since(p.start).Seconds()
+	var spill SpillStats
+	if p.scratch != nil {
+		spill = p.scratch.stats()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PipelineStats{
+		Spill:        spill,
 		Workers:      p.ws.Workers(),
 		QueueDepth:   queueDepth,
 		Resizes:      p.ws.Resizes(),

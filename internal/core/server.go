@@ -56,6 +56,7 @@ type Server struct {
 	persister Persister
 	scheduler Scheduler
 	pipe      *pipeline       // nil in the synchronous baseline
+	scratch   *scratch        // degraded-mode spill file; nil when disabled
 	encPool   *dsf.EncodePool // nil when encode_workers is 0
 	ownStore  store.Backend   // backend this server opened (and must close)
 	agg       *serverAgg      // aggregation-layer state; nil when disabled
@@ -135,6 +136,7 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 			b, err := store.OpenWith(cfg.PersistBackend, store.Options{
 				PartSize:   cfg.StorePartSize,
 				PutWorkers: cfg.StorePutWorkers,
+				PutTimeout: time.Duration(cfg.StorePutTimeoutMS) * time.Millisecond,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: server %d: persist backend: %w", worldRank, err)
@@ -228,13 +230,33 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 			workers = s.tuner.Sizes().Writers
 			// The queue must be able to carry the widest window the tuner may
 			// open; the effective backpressure point is the flow window, which
-			// the tuner moves inside [1, MaxWindow].
-			if lim := s.tuner.Limits(); lim.MaxWindow > depth {
+			// the tuner moves inside [1, MaxWindow]. With a scratch file
+			// configured the configured depth stays authoritative instead:
+			// sustained overflow spills to local disk (bounded memory), and
+			// the tuner's degraded mode vetoes window growth while the
+			// backlog replays.
+			if lim := s.tuner.Limits(); cfg.SpillDir == "" && lim.MaxWindow > depth {
 				depth = lim.MaxWindow
 			}
 		}
 		s.pipe = newPipeline(s.persister, s.scheduler,
 			workers, depth, s.iterationDurable)
+		if cfg.SpillDir != "" {
+			// Degraded-mode scratch file, one per dedicated core. Opening it
+			// also performs crash recovery: frames a previous run left behind
+			// are handed straight to the drainer, which replays them through
+			// this server's normal persist path. Config.Validate has already
+			// rejected spill with aggregation (spilled chunks are released
+			// early, which the shared merge ring cannot tolerate) and spill
+			// without an asynchronous pipeline.
+			path := fmt.Sprintf("%s/node%04d_srv%04d.spill", cfg.SpillDir, node, worldRank)
+			sc, err := openScratch(path, cfg.SpillAfter, s.persister)
+			if err != nil {
+				return nil, fmt.Errorf("core: server %d: %w", worldRank, err)
+			}
+			s.scratch = sc
+			s.pipe.attachScratch(sc)
+		}
 	}
 	eng.OnIterationEnd = s.flushIteration
 	eng.OnAllExited = func() error {
@@ -322,6 +344,18 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		if s.pipe != nil {
 			s.pipe.close()
+		}
+		// The scratch drainer gets one final attempt at any spill backlog; a
+		// frame it cannot replay stays in the scratch file (recovered on the
+		// next start) and is surfaced as the close error.
+		if s.scratch != nil {
+			if err := s.scratch.close(); err != nil {
+				s.mu.Lock()
+				if s.flushErr == nil {
+					s.flushErr = flushError{fmt.Errorf("core: server %d: %w", s.id, err)}
+				}
+				s.mu.Unlock()
+			}
 		}
 		// Aggregation teardown: every contribution of this member is acked
 		// (the pipeline drained), so declare it done; the leader then waits
@@ -440,6 +474,7 @@ func (s *Server) tune() {
 		Interval:     gap,
 		QueueDepth:   depth,
 		RingFill:     -1, // no ring sample this iteration
+		SpillActive:  s.pipe.spillActive(),
 	}
 	// The encode/store/ring figures require full stats snapshots (summary
 	// construction under their mutexes) — too heavy for every iteration of

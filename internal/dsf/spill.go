@@ -1,0 +1,114 @@
+package dsf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Scratch-spill framing.
+//
+// When the persistence pipeline backpressures past its spill threshold, the
+// event loop appends whole iterations to a local scratch file so it can
+// release their shared-memory chunks early. Each spilled iteration is one
+// self-describing frame:
+//
+//	[8]  spillMagic "DSFSPILL"
+//	[8]  payload length, little-endian
+//	[8]  iteration number, little-endian
+//	[4]  CRC-32 (IEEE) of the payload
+//	[n]  payload: a complete DSF stream holding the iteration's chunks
+//
+// The format is append-only and prefix-valid by construction: a crash mid
+// append leaves a torn final frame, and recovery keeps exactly the frames
+// before it. DecodeSpillFrames is total — arbitrary bytes produce the valid
+// prefix and a count of trailing garbage, never a panic — because crash
+// recovery runs it on whatever the filesystem preserved.
+
+const (
+	spillMagic = "DSFSPILL"
+	// SpillFrameOverhead is the fixed header size preceding each payload.
+	SpillFrameOverhead = 8 + 8 + 8 + 4
+	// maxSpillPayload bounds a single frame's payload so a corrupt length
+	// field cannot drive recovery into a giant allocation. One frame holds
+	// one iteration's chunks, far below this.
+	maxSpillPayload = 1 << 31
+)
+
+// SpillFrame is one decoded scratch-file frame.
+type SpillFrame struct {
+	// Iteration is the simulation iteration the payload belongs to.
+	Iteration int64
+	// Payload is a complete DSF stream (readable via OpenReaderAt).
+	Payload []byte
+	// Offset is the frame's byte offset in the scratch file; Offset plus
+	// SpillFrameOverhead plus len(Payload) is where the next frame starts.
+	Offset int64
+}
+
+// AppendSpillFrame appends one frame to w and returns the bytes written.
+func AppendSpillFrame(w io.Writer, iteration int64, payload []byte) (int64, error) {
+	if int64(len(payload)) > maxSpillPayload {
+		return 0, fmt.Errorf("dsf: spill payload %d bytes exceeds frame bound", len(payload))
+	}
+	var hdr [SpillFrameOverhead]byte
+	copy(hdr[:8], spillMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(iteration))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("dsf: spill frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, fmt.Errorf("dsf: spill frame payload: %w", err)
+	}
+	return SpillFrameOverhead + int64(len(payload)), nil
+}
+
+// DecodeSpillFrames parses the valid frame prefix of b. It stops at the
+// first torn, truncated or corrupt frame and reports how many bytes it
+// consumed; rest = len(b)-consumed bytes are garbage the caller should
+// truncate away. It never fails: zero frames and consumed 0 is a legal
+// answer for arbitrary input.
+func DecodeSpillFrames(b []byte) (frames []SpillFrame, consumed int64) {
+	off := int64(0)
+	for {
+		rest := b[off:]
+		if int64(len(rest)) < SpillFrameOverhead {
+			return frames, off
+		}
+		if string(rest[:8]) != spillMagic {
+			return frames, off
+		}
+		plen := binary.LittleEndian.Uint64(rest[8:16])
+		if plen > maxSpillPayload || int64(plen) > int64(len(rest))-SpillFrameOverhead {
+			return frames, off // torn or corrupt length: stop at the last whole frame
+		}
+		iteration := int64(binary.LittleEndian.Uint64(rest[16:24]))
+		wantCRC := binary.LittleEndian.Uint32(rest[24:28])
+		payload := rest[SpillFrameOverhead : SpillFrameOverhead+int64(plen)]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return frames, off
+		}
+		frames = append(frames, SpillFrame{Iteration: iteration, Payload: payload, Offset: off})
+		off += SpillFrameOverhead + int64(plen)
+	}
+}
+
+// ReadSpillFile reads and decodes a scratch file from disk. A missing file
+// is zero frames, not an error — recovery treats "no scratch" and "empty
+// scratch" identically. consumed is the length of the valid prefix; callers
+// truncate the file to it before appending new frames.
+func ReadSpillFile(path string) (frames []SpillFrame, consumed int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("dsf: read spill file: %w", err)
+	}
+	frames, consumed = DecodeSpillFrames(b)
+	return frames, consumed, nil
+}

@@ -1,0 +1,143 @@
+package dsf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildSpill(tb testing.TB, iterations ...int64) []byte {
+	var buf bytes.Buffer
+	for _, it := range iterations {
+		payload := fuzzSeedFile(tb, None)
+		if _, err := AppendSpillFrame(&buf, it, payload); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	b := buildSpill(t, 3, 4, 7)
+	frames, consumed := DecodeSpillFrames(b)
+	if consumed != int64(len(b)) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(b))
+	}
+	if len(frames) != 3 {
+		t.Fatalf("decoded %d frames, want 3", len(frames))
+	}
+	wantIts := []int64{3, 4, 7}
+	for i, f := range frames {
+		if f.Iteration != wantIts[i] {
+			t.Errorf("frame %d iteration = %d, want %d", i, f.Iteration, wantIts[i])
+		}
+		// Each payload must be a complete, openable DSF stream.
+		r, err := OpenReaderAt(bytes.NewReader(f.Payload), int64(len(f.Payload)))
+		if err != nil {
+			t.Fatalf("frame %d payload does not open as DSF: %v", i, err)
+		}
+		if len(r.Chunks()) == 0 {
+			t.Errorf("frame %d payload has no chunks", i)
+		}
+	}
+}
+
+// A torn final frame (crash mid-append) must yield exactly the whole frames
+// before it, with consumed marking the truncation point.
+func TestSpillTornTail(t *testing.T) {
+	whole := buildSpill(t, 1, 2)
+	torn := buildSpill(t, 9)
+	for cut := 1; cut < len(torn); cut += 7 {
+		b := append(append([]byte{}, whole...), torn[:len(torn)-cut]...)
+		frames, consumed := DecodeSpillFrames(b)
+		if len(frames) != 2 {
+			t.Fatalf("cut %d: decoded %d frames, want 2", cut, len(frames))
+		}
+		if consumed != int64(len(whole)) {
+			t.Fatalf("cut %d: consumed %d, want %d", cut, consumed, len(whole))
+		}
+	}
+}
+
+// A corrupt byte anywhere in a frame must stop decoding at the previous
+// frame boundary, never crash or return the damaged frame.
+func TestSpillCorruptPayload(t *testing.T) {
+	b := buildSpill(t, 1, 2)
+	frames, _ := DecodeSpillFrames(b)
+	if len(frames) != 2 {
+		t.Fatal("bad fixture")
+	}
+	second := frames[1].Offset
+	// Flip a payload byte in the second frame.
+	b2 := append([]byte{}, b...)
+	b2[second+SpillFrameOverhead+3] ^= 0xff
+	got, consumed := DecodeSpillFrames(b2)
+	if len(got) != 1 || consumed != second {
+		t.Fatalf("corrupt second frame: %d frames, consumed %d; want 1 frame, consumed %d",
+			len(got), consumed, second)
+	}
+}
+
+func TestSpillReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "srv.spill")
+
+	// Missing file: zero frames, no error.
+	frames, consumed, err := ReadSpillFile(path)
+	if err != nil || len(frames) != 0 || consumed != 0 {
+		t.Fatalf("missing file: frames=%d consumed=%d err=%v", len(frames), consumed, err)
+	}
+
+	b := buildSpill(t, 5)
+	garbage := append(append([]byte{}, b...), []byte("torn-tail-bytes")...)
+	if err := os.WriteFile(path, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	frames, consumed, err = ReadSpillFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || frames[0].Iteration != 5 {
+		t.Fatalf("decoded %d frames, want 1 (iteration 5)", len(frames))
+	}
+	if consumed != int64(len(b)) {
+		t.Fatalf("consumed %d, want %d", consumed, len(b))
+	}
+}
+
+// FuzzSpillDecode drives the scratch-file decoder with arbitrary bytes. The
+// invariant is totality: corrupt or truncated spill files must produce a
+// valid (possibly empty) frame prefix — never a panic or an allocation
+// driven by a corrupt length field — because crash recovery runs this on
+// whatever a dying node left behind.
+func FuzzSpillDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(spillMagic))
+	f.Add(buildSpill(f, 1))
+	f.Add(buildSpill(f, 1, 2, 3))
+	torn := buildSpill(f, 9)
+	f.Add(torn[:len(torn)-5])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		frames, consumed := DecodeSpillFrames(b)
+		if consumed < 0 || consumed > int64(len(b)) {
+			t.Fatalf("consumed %d outside [0,%d]", consumed, len(b))
+		}
+		off := int64(0)
+		for i, fr := range frames {
+			if fr.Offset != off {
+				t.Fatalf("frame %d offset %d, want %d", i, fr.Offset, off)
+			}
+			off = fr.Offset + SpillFrameOverhead + int64(len(fr.Payload))
+		}
+		if off != consumed {
+			t.Fatalf("frames end at %d but consumed = %d", off, consumed)
+		}
+		// Decoding the valid prefix again must be a fixed point.
+		again, c2 := DecodeSpillFrames(b[:consumed])
+		if len(again) != len(frames) || c2 != consumed {
+			t.Fatalf("re-decode of valid prefix: %d frames/%d bytes, want %d/%d",
+				len(again), c2, len(frames), consumed)
+		}
+	})
+}

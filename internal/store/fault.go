@@ -1,6 +1,8 @@
 package store
 
 import (
+	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -94,6 +96,89 @@ func Chain(faults ...Fault) Fault {
 		}
 		return first
 	})
+}
+
+// ErrBrownout is the failure a Brownout fault injects; tests and retry
+// loops can errors.Is against it.
+var ErrBrownout = errors.New("store: injected brownout failure")
+
+// brownout is a time-windowed degradation: inside [start, start+duration]
+// matching ops see latency and failures whose intensity ramps linearly up to
+// the configured peak at the window's midpoint and back down to zero — the
+// shape of a storage target browning out under load and recovering, rather
+// than a step function. Error injection is deterministic for a given call
+// sequence: an accumulator fails a call each time the summed instantaneous
+// error rate crosses one, so a 20%-peak brownout fails roughly every fifth
+// matching call near the midpoint with no randomness involved.
+type brownout struct {
+	start    time.Time
+	duration time.Duration
+	latency  time.Duration
+	errRate  float64
+	match    map[string]bool  // nil or empty = every op
+	now      func() time.Time // injectable for deterministic tests
+
+	mu  sync.Mutex
+	acc float64
+}
+
+// Brownout builds a time-windowed latency/error ramp over the listed ops
+// (every op when none are listed). latency is the peak injected sleep and
+// errRate the peak failure fraction, both reached at the midpoint of
+// [start, start+duration]; outside the window the fault passes everything
+// untouched. Failures carry ErrBrownout.
+func Brownout(start time.Time, duration, latency time.Duration, errRate float64, ops ...string) Fault {
+	b := &brownout{start: start, duration: duration, latency: latency, errRate: errRate, now: time.Now}
+	if len(ops) > 0 {
+		b.match = make(map[string]bool, len(ops))
+		for _, op := range ops {
+			b.match[op] = true
+		}
+	}
+	return b
+}
+
+// factor is the ramp intensity in [0,1] at time t: 0 outside the window,
+// rising linearly to 1 at the midpoint and back to 0 at the end.
+func (b *brownout) factor(t time.Time) float64 {
+	if b.duration <= 0 || t.Before(b.start) {
+		return 0
+	}
+	frac := float64(t.Sub(b.start)) / float64(b.duration)
+	if frac >= 1 {
+		return 0
+	}
+	if frac < 0.5 {
+		return 2 * frac
+	}
+	return 2 * (1 - frac)
+}
+
+func (b *brownout) Op(op, name string) error {
+	if b.match != nil && !b.match[op] {
+		return nil
+	}
+	f := b.factor(b.now())
+	if f <= 0 {
+		return nil
+	}
+	if b.latency > 0 {
+		time.Sleep(time.Duration(f * float64(b.latency)))
+	}
+	if b.errRate <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	b.acc += f * b.errRate
+	fail := b.acc >= 1
+	if fail {
+		b.acc -= 1
+	}
+	b.mu.Unlock()
+	if fail {
+		return ErrBrownout
+	}
+	return nil
 }
 
 // opFault is the backends' nil-tolerant fault hook.

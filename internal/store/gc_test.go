@@ -229,7 +229,7 @@ func TestGCSweepsStaleTemps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tmp := s.tmpPath()
+	tmp := s.tmpPathAt(0)
 	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,17 @@ type Stats struct {
 	Failures int64
 	// Retries counts part-upload attempts beyond each part's first.
 	Retries int64
+	// Backoffs counts the capped-exponential backoff waits taken between
+	// part-upload retry attempts; BackoffSeconds is the total time slept.
+	Backoffs       int64
+	BackoffSeconds float64
+	// PutTimeouts counts put attempts abandoned at the per-put deadline —
+	// each is a hung-target stall converted into a retryable error.
+	PutTimeouts int64
+	// Hedges counts secondary puts launched after the hedge trigger;
+	// HedgeWins those where the hedged attempt supplied the first success
+	// (the primary was slow or lost).
+	Hedges, HedgeWins int64
 	// DedupeHits counts part uploads skipped because the content-addressed
 	// blob was already present; DedupeBytes the upload bytes saved.
 	DedupeHits  int64
@@ -56,6 +67,11 @@ type metrics struct {
 	putLat, getLat   stats.Accumulator
 	failures         int64
 	retries          int64
+	backoffs         int64
+	backoffSecs      float64
+	putTimeouts      int64
+	hedges           int64
+	hedgeWins        int64
 	dedupeHits       int64
 	dedupeBytes      int64
 	partsInFlight    int64
@@ -94,6 +110,31 @@ func (m *metrics) recordFailure() {
 func (m *metrics) recordRetry() {
 	m.mu.Lock()
 	m.retries++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordBackoff(seconds float64) {
+	m.mu.Lock()
+	m.backoffs++
+	m.backoffSecs += seconds
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordPutTimeout() {
+	m.mu.Lock()
+	m.putTimeouts++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordHedge() {
+	m.mu.Lock()
+	m.hedges++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordHedgeWin() {
+	m.mu.Lock()
+	m.hedgeWins++
 	m.mu.Unlock()
 }
 
@@ -139,6 +180,11 @@ func (m *metrics) snapshot() Stats {
 		GetLatency:       m.getLat.Summary(),
 		Failures:         m.failures,
 		Retries:          m.retries,
+		Backoffs:         m.backoffs,
+		BackoffSeconds:   m.backoffSecs,
+		PutTimeouts:      m.putTimeouts,
+		Hedges:           m.hedges,
+		HedgeWins:        m.hedgeWins,
 		DedupeHits:       m.dedupeHits,
 		DedupeBytes:      m.dedupeBytes,
 		PartsInFlight:    m.partsInFlight,

@@ -4,9 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"io/fs"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,12 +41,30 @@ import (
 //	blobs/<name>            the blob plane (parts live under blobs/cas/sha256/)
 //	manifests/<object>.json committed manifests (atomic rename)
 //	tmp/                    in-flight temporaries, ignored by all reads
+//
+// # Replica targets and hedged writes
+//
+// Optional replica targets (Options.Replicas, or repeated replica= URL
+// parameters) turn the store into a small replica set with the same layout
+// under each root. Writes go to the primary first; a part put or manifest
+// commit still outstanding past the hedge trigger — the configured
+// percentile of observed put latency, floored at HedgeAfter — is re-issued
+// to the next target, first success wins. The "cancel" of the losing
+// attempt is idempotence, not interruption: content addressing and
+// write-temp-then-rename make a straggler that completes later land the
+// exact same bytes, so nobody waits for it. Reads (Get/Stat/Manifest/Open)
+// fall back across targets in order, so an object whose parts were hedged
+// onto a replica stays fully readable. GC sweeps the primary only.
 type ObjStore struct {
 	root        string
 	partSize    int64
 	putWorkers  int
 	putAttempts int
+	putTimeout  time.Duration
+	hedgeAfter  time.Duration
+	hedgePct    float64
 	fault       Fault
+	replicas    []objTarget
 	metrics     metrics
 
 	// sem bounds the parts concurrently uploading (or buffered awaiting a
@@ -53,7 +73,26 @@ type ObjStore struct {
 	// partBufs recycles part-sized buffers between uploads so steady-state
 	// multipart writes allocate nothing per part.
 	partBufs sync.Pool
+
+	// latMu guards the put-latency reservoir the hedge trigger is computed
+	// from and the jitter source for retry backoff.
+	latMu   sync.Mutex
+	lats    [64]float64 // ring of recent successful put seconds
+	latN    int         // total samples ever recorded
+	jitter  *rand.Rand
+	scratch []float64 // reusable sort buffer for the percentile
 }
+
+// objTarget is one replica storage root with its own injected fault.
+type objTarget struct {
+	root  string
+	fault Fault
+}
+
+// ErrPutTimeout marks a put attempt abandoned at the per-put deadline. The
+// attempt may still land its blob later; retries re-probe via content
+// addressing, which keeps the timeout retryable.
+var ErrPutTimeout = errors.New("store: put deadline exceeded")
 
 // NewObjStore opens (creating if needed) an object store rooted at dir.
 func NewObjStore(dir string, opts Options) (*ObjStore, error) {
@@ -64,9 +103,12 @@ func NewObjStore(dir string, opts Options) (*ObjStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: object backend needs a root directory")
 	}
-	for _, sub := range []string{"blobs", "manifests", "tmp"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
-			return nil, fmt.Errorf("store: object backend: %w", err)
+	roots := append([]string{dir}, opts.Replicas...)
+	for _, root := range roots {
+		for _, sub := range []string{"blobs", "manifests", "tmp"} {
+			if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
+				return nil, fmt.Errorf("store: object backend: %w", err)
+			}
 		}
 	}
 	s := &ObjStore{
@@ -74,9 +116,22 @@ func NewObjStore(dir string, opts Options) (*ObjStore, error) {
 		partSize:    opts.PartSize,
 		putWorkers:  opts.PutWorkers,
 		putAttempts: opts.PutAttempts,
+		putTimeout:  opts.PutTimeout,
+		hedgeAfter:  opts.HedgeAfter,
+		hedgePct:    opts.HedgePct,
 		fault:       opts.Fault,
 		metrics:     metrics{scheme: "obj"},
 		sem:         make(chan struct{}, opts.PutWorkers),
+		// Jitter only spreads retry backoff in time; a fixed seed keeps runs
+		// reproducible and output bytes never depend on it.
+		jitter: rand.New(rand.NewSource(1)),
+	}
+	for i, r := range opts.Replicas {
+		t := objTarget{root: r}
+		if i < len(opts.ReplicaFaults) {
+			t.fault = opts.ReplicaFaults[i]
+		}
+		s.replicas = append(s.replicas, t)
 	}
 	s.partBufs.New = func() any {
 		b := make([]byte, 0, s.partSize)
@@ -91,16 +146,40 @@ func (s *ObjStore) Root() string { return s.root }
 // PartSize returns the multipart split size.
 func (s *ObjStore) PartSize() int64 { return s.partSize }
 
-func (s *ObjStore) blobPath(name string) string {
-	return filepath.Join(s.root, "blobs", filepath.FromSlash(name))
+// targets returns how many storage roots this store writes to (primary +
+// replicas).
+func (s *ObjStore) targets() int { return 1 + len(s.replicas) }
+
+// rootAt returns target ti's storage root (0 = primary).
+func (s *ObjStore) rootAt(ti int) string {
+	if ti == 0 {
+		return s.root
+	}
+	return s.replicas[ti-1].root
 }
 
-func (s *ObjStore) manifestPath(object string) string {
-	return filepath.Join(s.root, "manifests", filepath.FromSlash(object)+".json")
+// faultAt returns target ti's injected fault (0 = primary).
+func (s *ObjStore) faultAt(ti int) Fault {
+	if ti == 0 {
+		return s.fault
+	}
+	return s.replicas[ti-1].fault
 }
 
-func (s *ObjStore) tmpPath() string {
-	return filepath.Join(s.root, "tmp", "t-"+tmpName())
+func (s *ObjStore) blobPathAt(ti int, name string) string {
+	return filepath.Join(s.rootAt(ti), "blobs", filepath.FromSlash(name))
+}
+
+func (s *ObjStore) blobPath(name string) string { return s.blobPathAt(0, name) }
+
+func (s *ObjStore) manifestPathAt(ti int, object string) string {
+	return filepath.Join(s.rootAt(ti), "manifests", filepath.FromSlash(object)+".json")
+}
+
+func (s *ObjStore) manifestPath(object string) string { return s.manifestPathAt(0, object) }
+
+func (s *ObjStore) tmpPathAt(ti int) string {
+	return filepath.Join(s.rootAt(ti), "tmp", "t-"+tmpName())
 }
 
 // casBlobName is the content-addressed blob name of one part.
@@ -108,18 +187,18 @@ func casBlobName(sum [sha256.Size]byte) string {
 	return "cas/sha256/" + hex.EncodeToString(sum[:])
 }
 
-// writeTempAndRename lands data at dst via the backend's temp area, with
-// the put faults threaded through (OpPutRename failing between write and
-// rename is the torn-upload crash window). The temp file is fsynced before
-// the rename: the manifest-last protocol's invariant is that everything a
-// manifest references is durable, so a power loss after a blob's rename
-// must never surface zero-filled part bytes.
-func (s *ObjStore) writeTempAndRename(op string, name string, dst string, data []byte) error {
-	tmp := s.tmpPath()
+// writeTempAndRename lands data at target ti's dst via that target's temp
+// area, with the put faults threaded through (OpPutRename failing between
+// write and rename is the torn-upload crash window). The temp file is
+// fsynced before the rename: the manifest-last protocol's invariant is that
+// everything a manifest references is durable, so a power loss after a
+// blob's rename must never surface zero-filled part bytes.
+func (s *ObjStore) writeTempAndRename(ti int, op string, name string, dst string, data []byte) error {
+	tmp := s.tmpPathAt(ti)
 	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("store: %s %q: %w", op, name, err)
 	}
-	if err := opFault(s.fault, OpPutRename, name); err != nil {
+	if err := opFault(s.faultAt(ti), OpPutRename, name); err != nil {
 		return err // torn: tmp stays behind, invisible
 	}
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
@@ -131,39 +210,165 @@ func (s *ObjStore) writeTempAndRename(op string, name string, dst string, data [
 	return nil
 }
 
-// Put stores one immutable blob. Re-putting an existing name is legal only
-// with identical bytes (content-addressed callers get that by
-// construction); the rename makes the operation idempotent either way.
-func (s *ObjStore) Put(name string, data []byte) error {
+// withPutTimeout runs one write attempt under the per-put deadline. On
+// deadline the attempt keeps running in the background (a hung fault or
+// filesystem cannot be interrupted) and the caller gets a retryable
+// ErrPutTimeout; if the stray attempt lands its blob later, the retry's
+// content-addressed dedupe probe discovers it. Without a configured
+// deadline this is a plain call — no goroutine per put.
+func (s *ObjStore) withPutTimeout(fn func() error) error {
+	if s.putTimeout <= 0 {
+		return fn()
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	t := time.NewTimer(s.putTimeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		s.metrics.recordPutTimeout()
+		return fmt.Errorf("store: put timed out after %v: %w", s.putTimeout, ErrPutTimeout)
+	}
+}
+
+// putAt stores one immutable blob on target ti, under the per-put deadline.
+func (s *ObjStore) putAt(ti int, name string, data []byte) error {
 	if err := validName(name); err != nil {
 		return err
 	}
 	// The timer starts before the fault hook on purpose: injected latency
 	// models the storage target, so it belongs in PutLatency.
 	start := time.Now()
-	if err := opFault(s.fault, OpPut, name); err != nil {
+	err := s.withPutTimeout(func() error {
+		if err := opFault(s.faultAt(ti), OpPut, name); err != nil {
+			return err
+		}
+		return s.writeTempAndRename(ti, "put", name, s.blobPathAt(ti, name), data)
+	})
+	if err != nil {
 		s.metrics.recordFailure()
 		return err
 	}
-	if err := s.writeTempAndRename("put", name, s.blobPath(name), data); err != nil {
-		s.metrics.recordFailure()
-		return err
-	}
-	s.metrics.recordPut(time.Since(start).Seconds(), int64(len(data)))
+	sec := time.Since(start).Seconds()
+	s.metrics.recordPut(sec, int64(len(data)))
+	s.observePutLatency(sec)
 	return nil
 }
 
-// Get reads a blob back.
-func (s *ObjStore) Get(name string) ([]byte, error) {
-	if err := validName(name); err != nil {
-		return nil, err
+// Put stores one immutable blob on the primary target. Re-putting an
+// existing name is legal only with identical bytes (content-addressed
+// callers get that by construction); the rename makes the operation
+// idempotent either way.
+func (s *ObjStore) Put(name string, data []byte) error { return s.putAt(0, name, data) }
+
+// observePutLatency feeds the hedge trigger's latency reservoir.
+func (s *ObjStore) observePutLatency(sec float64) {
+	s.latMu.Lock()
+	s.lats[s.latN%len(s.lats)] = sec
+	s.latN++
+	s.latMu.Unlock()
+}
+
+// hedgeTriggerSamples is how many put-latency observations the percentile
+// trigger needs before it overrides the configured floor.
+const hedgeTriggerSamples = 8
+
+// hedgeDelay returns how long a write may stay outstanding before it is
+// re-issued to the next target: the configured percentile of recently
+// observed put latency, floored at HedgeAfter (also the fallback while the
+// reservoir is still cold).
+func (s *ObjStore) hedgeDelay() time.Duration {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	n := s.latN
+	if n > len(s.lats) {
+		n = len(s.lats)
 	}
+	if s.latN < hedgeTriggerSamples {
+		return s.hedgeAfter
+	}
+	s.scratch = append(s.scratch[:0], s.lats[:n]...)
+	sort.Float64s(s.scratch)
+	idx := int(float64(n-1) * s.hedgePct / 100)
+	d := time.Duration(s.scratch[idx] * float64(time.Second))
+	if d < s.hedgeAfter {
+		d = s.hedgeAfter
+	}
+	return d
+}
+
+// hedged runs do(0) and, while it stays outstanding past the hedge trigger
+// (or fails outright), escalates to do(1), do(2), … — first success wins.
+// Losing attempts are abandoned, not interrupted: idempotent writes make a
+// straggler that finishes later land identical bytes, so nothing waits for
+// it. With no replicas this is a plain primary call.
+func (s *ObjStore) hedged(do func(ti int) error) error {
+	n := s.targets()
+	if n == 1 {
+		return do(0)
+	}
+	type res struct {
+		ti  int
+		err error
+	}
+	ch := make(chan res, n) // buffered: abandoned attempts never block
+	launch := func(ti int) {
+		go func() { ch <- res{ti, do(ti)} }()
+	}
+	launch(0)
+	launched, pending := 1, 1
+	var firstErr error
+	for {
+		var hedgeC <-chan time.Time
+		var timer *time.Timer
+		if launched < n {
+			timer = time.NewTimer(s.hedgeDelay())
+			hedgeC = timer.C
+		}
+		select {
+		case r := <-ch:
+			if timer != nil {
+				timer.Stop()
+			}
+			pending--
+			if r.err == nil {
+				if r.ti > 0 {
+					s.metrics.recordHedgeWin()
+				}
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if launched < n {
+				// A definitive failure hedges immediately — no point waiting
+				// out the trigger for a target that already said no.
+				s.metrics.recordHedge()
+				launch(launched)
+				launched++
+				pending++
+			} else if pending == 0 {
+				return firstErr
+			}
+		case <-hedgeC:
+			s.metrics.recordHedge()
+			launch(launched)
+			launched++
+			pending++
+		}
+	}
+}
+
+// getAt reads a blob from target ti.
+func (s *ObjStore) getAt(ti int, name string) ([]byte, error) {
 	start := time.Now()
-	if err := opFault(s.fault, OpGet, name); err != nil {
+	if err := opFault(s.faultAt(ti), OpGet, name); err != nil {
 		s.metrics.recordFailure()
 		return nil, err
 	}
-	b, err := os.ReadFile(s.blobPath(name))
+	b, err := os.ReadFile(s.blobPathAt(ti, name))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("store: get %q: %w", name, ErrNotExist)
@@ -175,16 +380,51 @@ func (s *ObjStore) Get(name string) ([]byte, error) {
 	return b, nil
 }
 
-// Stat reports a blob's size — the dedupe probe.
+// Get reads a blob back, falling back across replica targets in order — a
+// part that was hedged onto a replica stays readable even when the primary
+// lost (or never received) it.
+func (s *ObjStore) Get(name string) ([]byte, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for ti := 0; ti < s.targets(); ti++ {
+		b, err := s.getAt(ti, name)
+		if err == nil {
+			return b, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// Stat reports a blob's size — the dedupe probe — falling back across
+// replica targets like Get.
 func (s *ObjStore) Stat(name string) (ObjectInfo, error) {
 	if err := validName(name); err != nil {
 		return ObjectInfo{}, err
 	}
-	if err := opFault(s.fault, OpStat, name); err != nil {
+	var firstErr error
+	for ti := 0; ti < s.targets(); ti++ {
+		info, err := s.statAt(ti, name)
+		if err == nil {
+			return info, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return ObjectInfo{}, firstErr
+}
+
+func (s *ObjStore) statAt(ti int, name string) (ObjectInfo, error) {
+	if err := opFault(s.faultAt(ti), OpStat, name); err != nil {
 		s.metrics.recordFailure()
 		return ObjectInfo{}, err
 	}
-	fi, err := os.Stat(s.blobPath(name))
+	fi, err := os.Stat(s.blobPathAt(ti, name))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return ObjectInfo{}, fmt.Errorf("store: stat %q: %w", name, ErrNotExist)
@@ -198,39 +438,44 @@ func (s *ObjStore) Stat(name string) (ObjectInfo, error) {
 	return ObjectInfo{Name: name, Size: fi.Size()}, nil
 }
 
-// List returns the blobs whose names start with prefix, sorted.
+// List returns the blobs whose names start with prefix, sorted — the union
+// across targets, so hedged parts that only landed on a replica are listed.
 func (s *ObjStore) List(prefix string) ([]ObjectInfo, error) {
 	if err := opFault(s.fault, OpList, prefix); err != nil {
 		s.metrics.recordFailure()
 		return nil, err
 	}
-	root := filepath.Join(s.root, "blobs")
+	seen := map[string]bool{}
 	var out []ObjectInfo
-	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
+	for ti := 0; ti < s.targets(); ti++ {
+		root := filepath.Join(s.rootAt(ti), "blobs")
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				return nil
+			}
+			rel, err := filepath.Rel(root, p)
+			if err != nil {
+				return err
+			}
+			name := filepath.ToSlash(rel)
+			if !strings.HasPrefix(name, prefix) || seen[name] {
+				return nil
+			}
+			seen[name] = true
+			fi, err := d.Info()
+			if err != nil {
+				return err
+			}
+			out = append(out, ObjectInfo{Name: name, Size: fi.Size()})
 			return nil
-		}
-		rel, err := filepath.Rel(root, p)
+		})
 		if err != nil {
-			return err
+			s.metrics.recordFailure()
+			return nil, fmt.Errorf("store: list: %w", err)
 		}
-		name := filepath.ToSlash(rel)
-		if !strings.HasPrefix(name, prefix) {
-			return nil
-		}
-		fi, err := d.Info()
-		if err != nil {
-			return err
-		}
-		out = append(out, ObjectInfo{Name: name, Size: fi.Size()})
-		return nil
-	})
-	if err != nil {
-		s.metrics.recordFailure()
-		return nil, fmt.Errorf("store: list: %w", err)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
@@ -362,9 +607,37 @@ func (w *objWriter) dispatchPart() {
 	w.buf = next
 }
 
+// Retry backoff bounds: capped exponential starting at the base, with full
+// jitter over the upper half of each step. The cap keeps a long outage from
+// growing waits past what the put timeout already bounds; the jitter keeps a
+// burst of failed parts from retrying in lockstep against a target that just
+// browned out.
+const (
+	retryBackoffBase = 2 * time.Millisecond
+	retryBackoffCap  = 250 * time.Millisecond
+)
+
+// backoffBeforeAttempt sleeps the capped-exponential, jittered backoff that
+// precedes retry attempt (attempt ≥ 2) and records the wait in Stats.
+func (s *ObjStore) backoffBeforeAttempt(attempt int) {
+	d := retryBackoffCap
+	if shift := uint(attempt - 2); shift < 8 {
+		if step := retryBackoffBase << shift; step < d {
+			d = step
+		}
+	}
+	s.latMu.Lock()
+	j := time.Duration(s.jitter.Int63n(int64(d)/2 + 1))
+	s.latMu.Unlock()
+	d = d/2 + j
+	s.metrics.recordBackoff(d.Seconds())
+	time.Sleep(d)
+}
+
 // uploadPart content-addresses one part and makes it durable: a part whose
 // blob already exists is a dedupe hit (skip the upload entirely); otherwise
-// put it, retrying transient failures — idempotent because the name is the
+// put it — hedged across replica targets when configured — retrying
+// transient failures with backoff, idempotent because the name is the
 // content.
 func (s *ObjStore) uploadPart(data []byte) (Part, error) {
 	sum := sha256.Sum256(data)
@@ -381,6 +654,7 @@ func (s *ObjStore) uploadPart(data []byte) (Part, error) {
 	for attempt := 1; attempt <= s.putAttempts; attempt++ {
 		if attempt > 1 {
 			s.metrics.recordRetry()
+			s.backoffBeforeAttempt(attempt)
 			// A failed attempt may have landed the blob anyway (e.g. the
 			// caller observed a timeout after the rename); content
 			// addressing lets the retry begin with the same dedupe probe.
@@ -389,7 +663,7 @@ func (s *ObjStore) uploadPart(data []byte) (Part, error) {
 				return part, nil
 			}
 		}
-		if lastErr = s.Put(part.Blob, data); lastErr == nil {
+		if lastErr = s.hedged(func(ti int) error { return s.putAt(ti, part.Blob, data) }); lastErr == nil {
 			return part, nil
 		}
 	}
@@ -447,8 +721,32 @@ func (w *objWriter) Abort() error {
 	return nil
 }
 
+// partDurable reports whether a part's blob is durable on any target — a
+// part that was hedged onto a replica satisfies the manifest-last invariant
+// just as well as one on the primary, because reads fall back the same way.
+func (s *ObjStore) partDurable(p Part) bool {
+	for ti := 0; ti < s.targets(); ti++ {
+		if fi, err := os.Stat(s.blobPathAt(ti, p.Blob)); err == nil && fi.Size() == p.Size {
+			return true
+		}
+	}
+	return false
+}
+
+// commitAt lands one manifest on target ti, under the per-put deadline.
+func (s *ObjStore) commitAt(ti int, object string, enc []byte) error {
+	return s.withPutTimeout(func() error {
+		if err := opFault(s.faultAt(ti), OpCommit, object); err != nil {
+			return err
+		}
+		return s.writeTempAndRename(ti, "commit", object, s.manifestPathAt(ti, object), enc)
+	})
+}
+
 // Commit publishes a manifest, making its object visible. Every part blob
-// must already be durable — the manifest-last protocol's invariant.
+// must already be durable — the manifest-last protocol's invariant. The
+// manifest write itself is hedged like part puts: a hung primary must not
+// stall the commit that advances the durability watermark.
 func (s *ObjStore) Commit(m *Manifest) error {
 	if m == nil || m.Object == "" {
 		return fmt.Errorf("store: commit without an object name")
@@ -456,13 +754,8 @@ func (s *ObjStore) Commit(m *Manifest) error {
 	if err := validName(m.Object); err != nil {
 		return err
 	}
-	if err := opFault(s.fault, OpCommit, m.Object); err != nil {
-		s.metrics.recordFailure()
-		return err
-	}
 	for i, p := range m.Parts {
-		fi, err := os.Stat(s.blobPath(p.Blob))
-		if err != nil || fi.Size() != p.Size {
+		if !s.partDurable(p) {
 			s.metrics.recordFailure()
 			return fmt.Errorf("store: commit %q: part %d blob %q not durable", m.Object, i, p.Blob)
 		}
@@ -471,7 +764,8 @@ func (s *ObjStore) Commit(m *Manifest) error {
 	if err != nil {
 		return fmt.Errorf("store: commit %q: %w", m.Object, err)
 	}
-	if err := s.writeTempAndRename("commit", m.Object, s.manifestPath(m.Object), append(enc, '\n')); err != nil {
+	enc = append(enc, '\n')
+	if err := s.hedged(func(ti int) error { return s.commitAt(ti, m.Object, enc) }); err != nil {
 		s.metrics.recordFailure()
 		return err
 	}
@@ -537,16 +831,31 @@ func decodeManifest(b []byte, object string) (*Manifest, error) {
 
 // Manifest reads a committed object's manifest back, re-validating every
 // field — a manifest corrupted at rest fails loudly here instead of
-// propagating bad arithmetic into readers.
+// propagating bad arithmetic into readers. Like Get, it falls back across
+// replica targets: a commit whose hedge won on a replica is still visible.
 func (s *ObjStore) Manifest(object string) (*Manifest, error) {
 	if err := validName(object); err != nil {
 		return nil, err
 	}
-	if err := opFault(s.fault, OpGet, object); err != nil {
+	var firstErr error
+	for ti := 0; ti < s.targets(); ti++ {
+		m, err := s.manifestAt(ti, object)
+		if err == nil {
+			return m, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+func (s *ObjStore) manifestAt(ti int, object string) (*Manifest, error) {
+	if err := opFault(s.faultAt(ti), OpGet, object); err != nil {
 		s.metrics.recordFailure()
 		return nil, err
 	}
-	b, err := os.ReadFile(s.manifestPath(object))
+	b, err := os.ReadFile(s.manifestPathAt(ti, object))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("store: manifest %q: %w", object, ErrNotExist)
@@ -561,36 +870,45 @@ func (s *ObjStore) Manifest(object string) (*Manifest, error) {
 	return m, nil
 }
 
-// Objects lists the committed objects (those with a manifest), sorted.
+// Objects lists the committed objects (those with a manifest), sorted. The
+// listing is the union across targets: an object whose hedged commit landed
+// only on a replica still shows up.
 func (s *ObjStore) Objects() ([]ObjectInfo, error) {
 	if err := opFault(s.fault, OpList, ""); err != nil {
 		s.metrics.recordFailure()
 		return nil, err
 	}
-	root := filepath.Join(s.root, "manifests")
+	seen := map[string]bool{}
 	var out []ObjectInfo
-	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() || !strings.HasSuffix(p, ".json") {
+	for ti := 0; ti < s.targets(); ti++ {
+		root := filepath.Join(s.rootAt(ti), "manifests")
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(p, ".json") {
+				return nil
+			}
+			rel, err := filepath.Rel(root, p)
+			if err != nil {
+				return err
+			}
+			object := strings.TrimSuffix(filepath.ToSlash(rel), ".json")
+			if seen[object] {
+				return nil
+			}
+			seen[object] = true
+			m, err := s.Manifest(object)
+			if err != nil {
+				return err
+			}
+			out = append(out, ObjectInfo{Name: object, Size: m.Size})
 			return nil
-		}
-		rel, err := filepath.Rel(root, p)
+		})
 		if err != nil {
-			return err
+			s.metrics.recordFailure()
+			return nil, fmt.Errorf("store: objects: %w", err)
 		}
-		object := strings.TrimSuffix(filepath.ToSlash(rel), ".json")
-		m, err := s.Manifest(object)
-		if err != nil {
-			return err
-		}
-		out = append(out, ObjectInfo{Name: object, Size: m.Size})
-		return nil
-	})
-	if err != nil {
-		s.metrics.recordFailure()
-		return nil, fmt.Errorf("store: objects: %w", err)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
@@ -641,15 +959,23 @@ func (s *ObjStore) StatObject(object string) (ObjectStat, error) {
 		s.metrics.recordFailure()
 		return ObjectStat{}, err
 	}
-	fi, err := os.Stat(s.manifestPath(object))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return ObjectStat{}, fmt.Errorf("store: stat object %q: %w", object, ErrNotExist)
+	var firstErr error
+	for ti := 0; ti < s.targets(); ti++ {
+		fi, err := os.Stat(s.manifestPathAt(ti, object))
+		if err == nil {
+			return ObjectStat{Size: fi.Size(), ModTime: fi.ModTime()}, nil
 		}
-		s.metrics.recordFailure()
-		return ObjectStat{}, fmt.Errorf("store: stat object %q: %w", object, err)
+		if os.IsNotExist(err) {
+			err = fmt.Errorf("store: stat object %q: %w", object, ErrNotExist)
+		} else {
+			s.metrics.recordFailure()
+			err = fmt.Errorf("store: stat object %q: %w", object, err)
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	return ObjectStat{Size: fi.Size(), ModTime: fi.ModTime()}, nil
+	return ObjectStat{}, firstErr
 }
 
 // objReader maps ReadAt offsets onto manifest parts, caching the most

@@ -48,6 +48,13 @@ const (
 	// DefaultPutAttempts is the total tries per part upload (1 first
 	// attempt + retries). Content addressing makes every retry idempotent.
 	DefaultPutAttempts = 3
+	// DefaultHedgeAfter is the hedge trigger used before enough put-latency
+	// samples exist to compute the configured percentile, and the floor under
+	// the computed trigger (hedging below it would double-write healthy puts).
+	DefaultHedgeAfter = 20 * time.Millisecond
+	// DefaultHedgePct is the observed put-latency percentile past which a
+	// still-outstanding put is hedged to the next replica target.
+	DefaultHedgePct = 95.0
 )
 
 // ErrNotExist reports a blob, object or manifest that is not (visibly)
@@ -184,8 +191,28 @@ type Options struct {
 	// PutAttempts is the total tries per part upload, first attempt
 	// included (0 = default).
 	PutAttempts int
+	// PutTimeout is the per-attempt deadline on a blob put (0 = none): a
+	// hung storage target converts to a retryable error instead of a
+	// forever-stall of the durability watermark.
+	PutTimeout time.Duration
+	// Replicas lists additional object-store target roots. With at least
+	// one replica, part puts and manifest commits that outlast the hedge
+	// trigger are re-issued to the next target, first success wins; reads
+	// fall back across targets in order.
+	Replicas []string
+	// ReplicaFaults injects per-op faults into the corresponding replica
+	// target (index-aligned with Replicas; nil entries inject nothing).
+	// Tests use it to brown out one target while its sibling stays healthy.
+	ReplicaFaults []Fault
+	// HedgeAfter floors the hedge trigger and serves as the trigger before
+	// enough latency samples exist (0 = DefaultHedgeAfter).
+	HedgeAfter time.Duration
+	// HedgePct is the observed put-latency percentile past which an
+	// outstanding put is hedged (0 = DefaultHedgePct).
+	HedgePct float64
 	// Fault, when non-nil, injects per-op latency and failures — the hook
-	// tests and benchmarks use to emulate slow or flaky storage.
+	// tests and benchmarks use to emulate slow or flaky storage. It applies
+	// to the primary target only; replica targets use ReplicaFaults.
 	Fault Fault
 }
 
@@ -200,6 +227,12 @@ func (o *Options) withDefaults() Options {
 	if r.PutAttempts == 0 {
 		r.PutAttempts = DefaultPutAttempts
 	}
+	if r.HedgeAfter == 0 {
+		r.HedgeAfter = DefaultHedgeAfter
+	}
+	if r.HedgePct == 0 {
+		r.HedgePct = DefaultHedgePct
+	}
 	return r
 }
 
@@ -212,6 +245,24 @@ func (o *Options) validate() error {
 	}
 	if o.PutAttempts < 0 {
 		return fmt.Errorf("store: negative put attempt count %d", o.PutAttempts)
+	}
+	if o.PutTimeout < 0 {
+		return fmt.Errorf("store: negative put timeout %v", o.PutTimeout)
+	}
+	if o.HedgeAfter < 0 {
+		return fmt.Errorf("store: negative hedge delay %v", o.HedgeAfter)
+	}
+	if o.HedgePct < 0 || o.HedgePct > 100 {
+		return fmt.Errorf("store: hedge percentile %v outside [0,100]", o.HedgePct)
+	}
+	for _, r := range o.Replicas {
+		if r == "" {
+			return fmt.Errorf("store: empty replica target")
+		}
+	}
+	if len(o.ReplicaFaults) > len(o.Replicas) {
+		return fmt.Errorf("store: %d replica faults for %d replicas",
+			len(o.ReplicaFaults), len(o.Replicas))
 	}
 	return nil
 }
@@ -287,7 +338,9 @@ func splitURL(raw string) (scheme, target, query string, err error) {
 }
 
 // applyQuery folds URL query parameters into opts. Recognized keys:
-// part_size, put_workers, put_attempts.
+// part_size, put_workers, put_attempts, put_timeout (milliseconds),
+// replica (repeatable; one target root per occurrence), hedge_ms,
+// hedge_pct.
 func applyQuery(query string, opts Options) (Options, error) {
 	if query == "" {
 		return opts, nil
@@ -298,6 +351,29 @@ func applyQuery(query string, opts Options) (Options, error) {
 		}
 		k, v, _ := strings.Cut(kv, "=")
 		switch k {
+		case "put_timeout":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return opts, fmt.Errorf("store: put_timeout %q: %w", v, err)
+			}
+			opts.PutTimeout = time.Duration(n) * time.Millisecond
+		case "replica":
+			if v == "" {
+				return opts, fmt.Errorf("store: empty replica target")
+			}
+			opts.Replicas = append(opts.Replicas, v)
+		case "hedge_ms":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return opts, fmt.Errorf("store: hedge_ms %q: %w", v, err)
+			}
+			opts.HedgeAfter = time.Duration(n) * time.Millisecond
+		case "hedge_pct":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return opts, fmt.Errorf("store: hedge_pct %q: %w", v, err)
+			}
+			opts.HedgePct = f
 		case "part_size":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
