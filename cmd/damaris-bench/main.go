@@ -19,6 +19,10 @@
 //	                               # (scratch spill under brownout, hedged
 //	                               # puts over a hung primary) and emit
 //	                               # BENCH_resilience.json
+//	damaris-bench -obs-bench       # run the telemetry-plane gates (0-alloc
+//	                               # observe paths, byte-stable exposition,
+//	                               # live scraped brownout run) and emit
+//	                               # BENCH_obs.json
 package main
 
 import (
@@ -53,6 +57,9 @@ func main() {
 		resilienceBench = flag.Bool("resilience-bench", false,
 			"run the overload-resilience gates (spill under brownout with byte-identity and bounded stall, hedged puts over a hung primary) and emit a JSON report")
 		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "output path for -resilience-bench")
+		obsBench      = flag.Bool("obs-bench", false,
+			"run the telemetry-plane gates (0-alloc observe paths, byte-stable exposition, bounded tracing overhead, live scraped brownout run) and emit a JSON report")
+		obsOut = flag.String("obs-out", "BENCH_obs.json", "output path for -obs-bench")
 	)
 	flag.Parse()
 
@@ -103,6 +110,14 @@ func main() {
 
 	if *resilienceBench {
 		if err := runResilienceBench(*resilienceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *obsBench {
+		if err := runObsBench(*obsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
 			os.Exit(1)
 		}

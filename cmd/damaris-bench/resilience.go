@@ -14,6 +14,7 @@ import (
 	"damaris/internal/config"
 	"damaris/internal/core"
 	"damaris/internal/mpi"
+	"damaris/internal/obs"
 	"damaris/internal/store"
 )
 
@@ -88,8 +89,10 @@ const (
 // runResilienceOnce executes one real middleware run (CM1 write pattern,
 // write-behind pipeline with scratch spill, auto control) against an obj://
 // backend wrapped in the given fault, and returns its telemetry plus the
-// backend's stored bytes (blobs/ and manifests/ trees).
-func runResilienceOnce(scenario string, fault store.Fault) (resilienceRun, map[string][]byte, error) {
+// backend's stored bytes (blobs/ and manifests/ trees). A non-nil plane
+// attaches the telemetry registry and lifecycle tracer (the obs bench scrapes
+// it live); nil runs untraced.
+func runResilienceOnce(scenario string, fault store.Fault, plane *obs.Plane) (resilienceRun, map[string][]byte, error) {
 	run := resilienceRun{Scenario: scenario, Iterations: resilienceSteps}
 	backendDir, err := os.MkdirTemp("", "damaris-resilience-store")
 	if err != nil {
@@ -133,6 +136,7 @@ func runResilienceOnce(scenario string, fault store.Fault) (resilienceRun, map[s
 	}
 
 	pers := &core.DSFPersister{Backend: backend}
+	pers.SetTracer(plane.Tracer())
 	var mu sync.Mutex
 	var firstErr error
 	var iterTimes []float64
@@ -146,7 +150,7 @@ func runResilienceOnce(scenario string, fault store.Fault) (resilienceRun, map[s
 	}
 	err = mpi.Run(resilienceRanks, resilienceRanks, func(comm *mpi.Comm) {
 		dep, err := core.Deploy(comm, cfg, nil, core.Options{
-			Persister: pers, Scheduler: ctlScheduler{},
+			Persister: pers, Scheduler: ctlScheduler{}, Obs: plane,
 		})
 		if err != nil {
 			fail(err)
@@ -394,7 +398,7 @@ func runResilienceBench(outPath string) error {
 	// the 5x brownout genuinely outruns the client cadence and forces
 	// sustained backpressure.
 	const baseLat = 10 * time.Millisecond
-	healthy, healthyTree, err := runResilienceOnce("healthy", store.Latency(baseLat, store.OpPut))
+	healthy, healthyTree, err := runResilienceOnce("healthy", store.Latency(baseLat, store.OpPut), nil)
 	if err != nil {
 		return err
 	}
@@ -410,7 +414,7 @@ func runResilienceBench(outPath string) error {
 		store.Brownout(time.Now().Add(-15*time.Second), 30*time.Second,
 			5*baseLat, 0.2, store.OpPut),
 	)
-	brownout, brownTree, err := runResilienceOnce("brownout", brownFault)
+	brownout, brownTree, err := runResilienceOnce("brownout", brownFault, nil)
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"damaris/internal/gateway"
+	"damaris/internal/obs"
 	"damaris/internal/store"
 )
 
@@ -50,6 +51,9 @@ func main() {
 	}
 	defer backend.Close()
 
+	// The telemetry plane folds into the gateway's own mux (no second
+	// listener): /metrics, /metrics.json, /v1/metrics, /jitter and
+	// /debug/pprof ride on -listen next to the data API.
 	cfg := gateway.Config{
 		Backend:        backend,
 		PartCacheBytes: *partMB << 20,
@@ -57,6 +61,7 @@ func main() {
 		TOCEntries:     *tocN,
 		Self:           *self,
 		Forward:        *forward,
+		Obs:            obs.NewPlane(0),
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {

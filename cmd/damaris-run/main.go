@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -23,6 +25,7 @@ import (
 	"damaris/internal/core"
 	"damaris/internal/dsf"
 	"damaris/internal/mpi"
+	"damaris/internal/obs"
 	"damaris/internal/stats"
 	"damaris/internal/store"
 	"damaris/internal/transform"
@@ -73,6 +76,12 @@ func main() {
 			"auto-control upper bound on the flow-window depth (0 = default)")
 		controlMaxEncode = flag.Int("control-max-encode", 0,
 			"auto-control upper bound on encode workers (0 = default)")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live telemetry over HTTP on this address (/metrics Prometheus text, /metrics.json, /trace, /jitter, /debug/pprof); empty disables")
+		traceOut = flag.String("trace-out", "",
+			"write the retained lifecycle spans as JSONL to this file at exit (read back with dsf-inspect -trace)")
+		traceRing = flag.Int("trace-ring", 0,
+			"lifecycle-trace ring capacity in spans, rounded up to a power of two (0 = default)")
 	)
 	flag.Parse()
 
@@ -80,7 +89,8 @@ func main() {
 		*backend, *compress, *bufMB, *allocator, *persistWork, *persistQueue,
 		*encodeWork, *gzipLevel, *persistBackend, *storePartSize, *storePutWorkers,
 		*storePutTimeout, *spillDir, *spillAfter, *aggregate, *aggregateRing,
-		*controlMode, *controlInterval, *controlMaxWorkers, *controlMaxWindow, *controlMaxEncode); err != nil {
+		*controlMode, *controlInterval, *controlMaxWorkers, *controlMaxWindow, *controlMaxEncode,
+		*metricsAddr, *traceOut, *traceRing); err != nil {
 		fmt.Fprintln(os.Stderr, "damaris-run:", err)
 		os.Exit(1)
 	}
@@ -91,11 +101,28 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	encodeWork, gzipLevel int, persistBackend string, storePartSize int64,
 	storePutWorkers, storePutTimeout int, spillDir string, spillAfter int,
 	aggregate string, aggregateRing int,
-	controlMode string, controlInterval, controlMaxWorkers, controlMaxWindow, controlMaxEncode int) error {
+	controlMode string, controlInterval, controlMaxWorkers, controlMaxWindow, controlMaxEncode int,
+	metricsAddr, traceOut string, traceRing int) error {
 	if ranks%coresPerNode != 0 {
 		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
 	}
 	nodes := ranks / coresPerNode
+
+	// One telemetry plane for the whole in-process world: every dedicated
+	// core records spans and registers collectors against it, so a single
+	// scrape (or the end-of-run report, which reads the same registry) covers
+	// the run.
+	plane := obs.NewPlane(traceRing)
+	if metricsAddr != "" {
+		ln, lerr := net.Listen("tcp", metricsAddr)
+		if lerr != nil {
+			return fmt.Errorf("metrics listener: %w", lerr)
+		}
+		srv := &http.Server{Handler: plane.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /metrics.json /trace /jitter /debug/pprof)\n", ln.Addr())
+	}
 	computeRanks := ranks
 	if backend == "damaris" {
 		computeRanks = ranks - nodes // one dedicated core per node
@@ -173,15 +200,18 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		case "damaris":
 			pers := &core.DSFPersister{Dir: outDir, Backend: sharedStore, Codec: codec,
 				GzipLevel: gzipLevel, Node: comm.Node(), ServerID: comm.Rank()}
-			dep, err := core.Deploy(comm, cfg, nil, core.Options{OutputDir: outDir, Persister: pers})
+			pers.SetTracer(plane.Tracer())
+			dep, err := core.Deploy(comm, cfg, nil, core.Options{OutputDir: outDir, Persister: pers, Obs: plane})
 			if err != nil {
 				panic(err)
 			}
 			if !dep.IsClient() {
 				// This rank's persister is private to this server, so the
 				// server rank owns the encode pool lifecycle (the server
-				// only auto-wires pools for persisters it creates itself).
+				// only auto-wires pools and tracers for persisters it
+				// creates itself).
 				pool := dsf.NewEncodePool(encodeWork)
+				pool.SetTracer(plane.Tracer(), comm.Rank())
 				pers.SetEncodePool(pool)
 				defer pool.Close()
 				if err := dep.Server.Run(); err != nil {
@@ -239,12 +269,48 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		reportControl(pipeStats, controlMode)
 		reportStore(pipeStats, sharedStore)
 		reportAggregate(pipeStats)
+		reportJitter(plane)
+	}
+	if traceOut != "" {
+		if err := writeTrace(plane, traceOut); err != nil {
+			return err
+		}
 	}
 	if sharedStore != nil {
 		fmt.Printf("output in backend %s\n", persistBackend)
 	} else {
 		fmt.Printf("output in %s\n", outDir)
 	}
+	return nil
+}
+
+// reportJitter prints the per-stage lifecycle jitter over the retained
+// spans. It goes through the same Plane.JitterReport the HTTP /jitter route
+// serves, so a live scrape and this report always agree.
+func reportJitter(plane *obs.Plane) {
+	for _, j := range plane.JitterReport() {
+		fmt.Printf("jitter[%s]: n=%d mean=%.2gs p50=%.2gs p95=%.2gs p99=%.2gs spread=%.2gs\n",
+			j.Stage, j.Count, j.Mean, j.P50, j.P95, j.P99, j.Spread)
+	}
+}
+
+// writeTrace dumps the retained lifecycle spans as JSONL for offline
+// analysis with dsf-inspect -trace.
+func writeTrace(plane *obs.Plane, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := plane.Tracer().WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	tr := plane.Tracer()
+	fmt.Printf("trace: %d spans retained in %s (%d recorded, %d overwritten by the ring)\n",
+		tr.Total()-tr.Dropped(), path, tr.Total(), tr.Dropped())
 	return nil
 }
 

@@ -11,6 +11,8 @@
 //	dsf-inspect -store obj://dir -verify name # verify one object of a backend
 //	dsf-inspect -store obj://dir -gc          # mark-and-sweep unreferenced parts
 //	dsf-inspect -store obj://dir -gc -gc-dry-run  # report only
+//	dsf-inspect -trace run.jsonl              # per-stage jitter summary of a lifecycle trace
+//	dsf-inspect -trace -trace-format chrome run.jsonl > run.trace  # chrome://tracing
 package main
 
 import (
@@ -35,11 +37,23 @@ func main() {
 		gcDry  = flag.Bool("gc-dry-run", false, "with -gc, report what would be reclaimed without deleting")
 		gcAge  = flag.Duration("gc-min-age", store.DefaultGCMinAge,
 			"with -gc, minimum age of unreferenced data before it may be reclaimed; in-flight uploads younger than this are retry seeds, not garbage (0 reclaims immediately — only safe when no writer can be live)")
+		trace    = flag.Bool("trace", false, "arguments are lifecycle-trace JSONL files (damaris-run -trace-out or GET /trace)")
+		traceFmt = flag.String("trace-format", "summary", "with -trace: summary | chrome | jsonl (chrome and jsonl write to stdout)")
 	)
 	flag.Parse()
 	if *st == "" && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dsf-inspect [-verify] [-stats] file.dsf... | -store URL [-gc [-gc-dry-run]] [object...]")
+		fmt.Fprintln(os.Stderr, "usage: dsf-inspect [-verify] [-stats] file.dsf... | -store URL [-gc [-gc-dry-run]] [object...] | -trace [-trace-format f] run.jsonl...")
 		os.Exit(2)
+	}
+	if *trace {
+		exit := 0
+		for _, path := range flag.Args() {
+			if err := inspectTrace(path, *traceFmt); err != nil {
+				fmt.Fprintf(os.Stderr, "dsf-inspect: %s: %v\n", path, err)
+				exit = 1
+			}
+		}
+		os.Exit(exit)
 	}
 	if *gc && *st == "" {
 		fmt.Fprintln(os.Stderr, "dsf-inspect: -gc requires -store")

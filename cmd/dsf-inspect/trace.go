@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"damaris/internal/obs"
+	"damaris/internal/stats"
+)
+
+// inspectTrace reads a lifecycle-trace JSONL file (damaris-run -trace-out or
+// a saved GET /trace body) and re-renders it: a per-stage jitter summary
+// (default), the Chrome trace-event conversion for chrome://tracing, or the
+// normalized JSONL itself.
+func inspectTrace(path, format string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpansJSONL(f)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "chrome":
+		return obs.WriteSpansChrome(os.Stdout, spans)
+	case "jsonl":
+		return obs.WriteSpansJSONL(os.Stdout, spans)
+	case "summary":
+		printTraceSummary(path, spans)
+		return nil
+	default:
+		return fmt.Errorf("unknown -trace-format %q (want summary | chrome | jsonl)", format)
+	}
+}
+
+// printTraceSummary prints per-stage descriptive statistics over the file's
+// spans — the same Summarize the live /jitter route applies to the ring, so
+// an archived trace reproduces the run's jitter lines.
+func printTraceSummary(path string, spans []obs.Span) {
+	fmt.Printf("%s: %d spans\n", path, len(spans))
+	servers := map[int]bool{}
+	var errs int
+	for _, sp := range spans {
+		servers[sp.Server] = true
+		if sp.Err {
+			errs++
+		}
+	}
+	fmt.Printf("  %d recording servers; %d error spans\n", len(servers), errs)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		var durs []float64
+		var bytes int64
+		for _, sp := range spans {
+			if sp.Stage != st {
+				continue
+			}
+			durs = append(durs, time.Duration(sp.Dur).Seconds())
+			bytes += sp.Bytes
+		}
+		if len(durs) == 0 {
+			continue
+		}
+		s := stats.Summarize(durs)
+		fmt.Printf("  %-7s n=%-6d mean=%-9.3gs p50=%-9.3gs p95=%-9.3gs p99=%-9.3gs spread=%-9.3gs bytes=%d\n",
+			st, s.N, s.Mean, s.Median, s.P95, s.P99, s.Spread(), bytes)
+	}
+}

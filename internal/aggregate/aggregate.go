@@ -39,8 +39,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"damaris/internal/metadata"
+	"damaris/internal/obs"
 	"damaris/internal/stats"
 )
 
@@ -84,6 +86,11 @@ type Config struct {
 	// mid-epoch (the epoch stays pending, a successor re-emits it). Test
 	// hook only.
 	TestCrashBeforeCommit func(term int, epoch int64) bool
+	// Tracer, when non-nil, records one StageMerge span per emitted epoch
+	// (iteration = epoch) covering the merge plus the sink commit;
+	// TraceServer labels the spans with the leader's world rank.
+	Tracer      *obs.Tracer
+	TraceServer int
 }
 
 // contribution is one member's datasets for one flush epoch, travelling
@@ -283,6 +290,27 @@ func (a *Aggregator) Stats() Stats {
 	}
 }
 
+// Emit writes the snapshot into a registry gather under the
+// damaris_aggregate_* families, tier mode carried as a label.
+func (s Stats) Emit(e *obs.Emitter, labels ...string) {
+	ls := labels
+	if s.Mode != "" {
+		ls = append([]string{"mode", s.Mode}, labels...)
+	}
+	e.Gauge("damaris_aggregate_members", float64(s.Members), ls...)
+	e.Counter("damaris_aggregate_epochs_total", float64(s.Epochs), ls...)
+	e.Counter("damaris_aggregate_empty_epochs_total", float64(s.EmptyEpochs), ls...)
+	e.Counter("damaris_aggregate_contributions_total", float64(s.Contributions), ls...)
+	e.Counter("damaris_aggregate_merged_chunks_total", float64(s.MergedChunks), ls...)
+	e.Counter("damaris_aggregate_merged_bytes_total", float64(s.MergedBytes), ls...)
+	e.Counter("damaris_aggregate_commit_failures_total", float64(s.CommitFailures), ls...)
+	e.Counter("damaris_aggregate_reelections_total", float64(s.Reelections), ls...)
+	e.Gauge("damaris_aggregate_ring_max", float64(s.RingMax), ls...)
+	e.Summary("damaris_aggregate_ring_depth", s.RingDepth, ls...)
+	e.Summary("damaris_aggregate_durability_window_epochs", s.DurabilityWindow, ls...)
+	e.Gauge("damaris_aggregate_durability_window_epochs_max", float64(s.DurabilityWindowMax), ls...)
+}
+
 // lead is one leader term: drain the fan-in ring, emit every epoch that
 // becomes complete, strictly ascending. A crash (test hook) ends the term
 // mid-epoch; the successor term re-scans the pending map, so nothing a
@@ -356,6 +384,7 @@ func (a *Aggregator) emitReady(term int, force bool) bool {
 			return true
 		}
 
+		mergeStart := time.Now()
 		members, withData, entries := merge(st)
 		// Empty epochs travel through the sink too: a forwarding sink must
 		// relay them (the global lockstep pairs one frame per node per
@@ -367,6 +396,8 @@ func (a *Aggregator) emitReady(term int, force bool) bool {
 		for _, e := range entries {
 			bytes += e.Size()
 		}
+		a.cfg.Tracer.Record(obs.StageMerge, a.cfg.TraceServer, epoch,
+			mergeStart, time.Since(mergeStart), bytes, err != nil)
 
 		a.mu.Lock()
 		delete(a.pending, epoch)

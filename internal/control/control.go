@@ -40,6 +40,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"damaris/internal/obs"
 )
 
 // Clock abstracts time so tests, benches and the simulator can drive the
@@ -183,6 +185,28 @@ type Stats struct {
 	Degraded bool
 	// DegradedDecisions counts decision points evaluated while degraded.
 	DegradedDecisions int64
+}
+
+// Emit writes the snapshot into a registry gather under the
+// damaris_control_* families, mode carried as a label.
+func (s Stats) Emit(e *obs.Emitter, labels ...string) {
+	ls := labels
+	if s.Mode != "" {
+		ls = append([]string{"mode", s.Mode}, labels...)
+	}
+	e.Counter("damaris_control_decisions_total", float64(s.Decisions), ls...)
+	e.Counter("damaris_control_resizes_total", float64(s.Resizes), ls...)
+	e.Counter("damaris_control_degraded_decisions_total", float64(s.DegradedDecisions), ls...)
+	e.Gauge("damaris_control_steady", float64(s.Steady), ls...)
+	e.Gauge("damaris_control_ratio", s.Ratio, ls...)
+	var deg float64
+	if s.Degraded {
+		deg = 1
+	}
+	e.Gauge("damaris_control_degraded", deg, ls...)
+	e.Gauge("damaris_control_writers", float64(s.Sizes.Writers), ls...)
+	e.Gauge("damaris_control_window", float64(s.Sizes.Window), ls...)
+	e.Gauge("damaris_control_encode", float64(s.Sizes.Encode), ls...)
 }
 
 // Tuner is the feedback controller. Observe is driven from a single

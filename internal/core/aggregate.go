@@ -226,9 +226,11 @@ func setupAggregation(nodeComm *mpi.Comm, leaderComm *mpi.Comm, cfg *config.Conf
 				}
 			}
 			global, err := aggregate.New(aggregate.Config{
-				Mode:      "node",
-				Members:   globalMembers,
-				RingDepth: cfg.AggregateRingDepth,
+				Mode:        "node",
+				Members:     globalMembers,
+				RingDepth:   cfg.AggregateRingDepth,
+				Tracer:      opts.Obs.Tracer(),
+				TraceServer: worldRank,
 				Sink: &aggregate.StoreSink{
 					Writer:     writer,
 					ObjectName: func(e int64) string { return fmt.Sprintf("agg%04d_it%06d.dsf", nodeIdx, e) },
@@ -259,10 +261,12 @@ func setupAggregation(nodeComm *mpi.Comm, leaderComm *mpi.Comm, cfg *config.Conf
 	}
 
 	agg, err := aggregate.New(aggregate.Config{
-		Mode:      cfg.AggregateMode,
-		Members:   members,
-		RingDepth: cfg.AggregateRingDepth,
-		Sink:      sink,
+		Mode:        cfg.AggregateMode,
+		Members:     members,
+		RingDepth:   cfg.AggregateRingDepth,
+		Tracer:      opts.Obs.Tracer(),
+		TraceServer: worldRank,
+		Sink:        sink,
 	})
 	if err != nil {
 		return fail(err)

@@ -26,6 +26,7 @@ import (
 	"damaris/internal/event"
 	"damaris/internal/metadata"
 	"damaris/internal/mpi"
+	"damaris/internal/obs"
 	"damaris/internal/plugin"
 	"damaris/internal/shm"
 )
@@ -157,6 +158,12 @@ type Options struct {
 	// assigned slot (paper §IV-D, "Data transfer scheduling"). Schedulers
 	// that also implement BatchScheduler keep write-behind batching enabled.
 	Scheduler Scheduler
+	// Obs, when non-nil, is the telemetry plane every server wires into:
+	// pipeline stats register as live collectors on its registry, and the
+	// write→encode→queue/spill→persist→merge→commit→ack lifecycle records
+	// spans on its tracer. Nil means observability off (zero overhead
+	// beyond one nil check per instrumentation point).
+	Obs *obs.Plane
 }
 
 // Deploy initializes Damaris on every rank of world. Compute cores receive a

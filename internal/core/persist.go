@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"damaris/internal/dsf"
 	"damaris/internal/metadata"
 	"damaris/internal/mpi"
+	"damaris/internal/obs"
 	"damaris/internal/plugin"
 	"damaris/internal/store"
 	"damaris/internal/transform"
@@ -69,6 +71,7 @@ type DSFPersister struct {
 	mu      sync.Mutex
 	backend store.Backend // resolved from Backend or Dir on first use
 	pool    *dsf.EncodePool
+	tracer  *obs.Tracer
 	files   []string
 }
 
@@ -91,6 +94,20 @@ func (p *DSFPersister) EncodePool() *dsf.EncodePool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.pool
+}
+
+// SetTracer attaches a lifecycle tracer: each DSF object written records a
+// StageCommit span around the backend's atomic publish. Nil disables.
+func (p *DSFPersister) SetTracer(tr *obs.Tracer) {
+	p.mu.Lock()
+	p.tracer = tr
+	p.mu.Unlock()
+}
+
+func (p *DSFPersister) traceHandle() *obs.Tracer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tracer
 }
 
 // Persist writes all entries of the iteration into one new DSF file.
@@ -237,8 +254,16 @@ func (p *DSFPersister) writeFile(name string, entries []*metadata.Entry, attrs m
 	}
 	// The stream is complete; only the commit makes it visible. A crash (or
 	// injected failure) before this point leaves no torn object behind.
-	if _, err := ow.Commit(); err != nil {
-		return fmt.Errorf("persist: %w", err)
+	commitStart := time.Now()
+	_, commitErr := ow.Commit()
+	var bytes int64
+	for _, e := range entries {
+		bytes += e.Size()
+	}
+	p.traceHandle().RecordSince(obs.StageCommit, p.ServerID, entries[0].Key.Iteration,
+		commitStart, bytes, commitErr != nil)
+	if commitErr != nil {
+		return fmt.Errorf("persist: %w", commitErr)
 	}
 	recorded := name
 	if implicitFile {

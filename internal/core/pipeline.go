@@ -8,6 +8,7 @@ import (
 	"damaris/internal/control"
 	"damaris/internal/dsf"
 	"damaris/internal/metadata"
+	"damaris/internal/obs"
 	"damaris/internal/stats"
 	"damaris/internal/store"
 )
@@ -33,6 +34,10 @@ type pipeline struct {
 	jobs      chan persistJob
 	wg        sync.WaitGroup
 	start     time.Time
+	// stopped freezes the utilization wall clock once close() drains — a
+	// quiesced pipeline's snapshot must stop changing (the obs bench scrapes
+	// it twice and compares bytes). Guarded by mu; zero while running.
+	stopped time.Time
 
 	// onDurable is invoked in submission (ack) order for every iteration,
 	// after the iteration and all earlier ones are durable. persistDur is
@@ -51,6 +56,13 @@ type pipeline struct {
 	// needs p.mu.
 	scratch  *scratch
 	pressure int
+
+	// tracer, when attached (before the first submit — writers see the
+	// write through the job channel's happens-before edge), records the
+	// queue/spill/persist/ack legs of every iteration's lifecycle;
+	// trServer labels the spans with this dedicated core's world rank.
+	tracer   *obs.Tracer
+	trServer int
 
 	mu        sync.Mutex
 	closed    bool
@@ -156,6 +168,13 @@ func (p *pipeline) resize(n int) {
 // before the first submit (the server does it right after newPipeline).
 func (p *pipeline) attachScratch(sc *scratch) { p.scratch = sc }
 
+// attachTracer wires lifecycle tracing in. Must be called before the first
+// submit, like attachScratch.
+func (p *pipeline) attachTracer(tr *obs.Tracer, server int) {
+	p.tracer = tr
+	p.trServer = server
+}
+
 // submit hands one completed iteration to the writers. It blocks while the
 // queue is full — the backpressure point for the event loop — and must not
 // be called after close.
@@ -222,7 +241,9 @@ func (p *pipeline) submit(it int64, entries []*metadata.Entry) {
 func (p *pipeline) spillJob(j persistJob) {
 	start := time.Now()
 	err := p.scratch.spill(j.it, j.entries)
-	dur := time.Since(start).Seconds()
+	wall := time.Since(start)
+	p.tracer.Record(obs.StageSpill, p.trServer, j.it, start, wall, j.bytes, err != nil)
+	dur := wall.Seconds()
 	for _, e := range j.entries {
 		e.Release()
 	}
@@ -234,6 +255,7 @@ func (p *pipeline) spillJob(j persistJob) {
 // a single job.
 func (p *pipeline) completeOne(j persistJob, dur float64, err error) {
 	now := time.Now()
+	p.tracer.Record(obs.StageAck, p.trServer, j.it, j.submitted, now.Sub(j.submitted), j.bytes, err != nil)
 	p.ackMu.Lock()
 	p.mu.Lock()
 	p.completed++
@@ -293,6 +315,9 @@ func (p *pipeline) close() {
 	p.mu.Unlock()
 	close(p.jobs)
 	p.wg.Wait()
+	p.mu.Lock()
+	p.stopped = time.Now()
+	p.mu.Unlock()
 }
 
 // writer is one persist goroutine: pop a job, drain a batch, make it
@@ -383,7 +408,8 @@ func (p *pipeline) persistAndAck(id int, batch []persistJob) {
 			errs[i] = p.persister.Persist(j.it, j.entries)
 		}
 	}
-	dur := time.Since(start).Seconds()
+	callDur := time.Since(start)
+	dur := callDur.Seconds()
 	// The iterations of this batch are durable (or definitively failed):
 	// only now may their shared-memory chunks be released. On error the
 	// data is gone either way, so liveness wins — release regardless.
@@ -394,6 +420,15 @@ func (p *pipeline) persistAndAck(id int, batch []persistJob) {
 	}
 
 	now := time.Now()
+	// Lifecycle spans, one triple per iteration: queue wait (submit to
+	// writer pickup), persist (each iteration carries the whole batch's
+	// call span — its durability really did take that long) and the full
+	// submit-to-durable ack latency the flow window tracks.
+	for i, j := range batch {
+		p.tracer.Record(obs.StageQueue, p.trServer, j.it, j.submitted, start.Sub(j.submitted), j.bytes, false)
+		p.tracer.Record(obs.StagePersist, p.trServer, j.it, start, callDur, j.bytes, errs[i] != nil)
+		p.tracer.Record(obs.StageAck, p.trServer, j.it, j.submitted, now.Sub(j.submitted), j.bytes, errs[i] != nil)
+	}
 	// Each iteration is charged its share of the batch's persist call, so
 	// Σ WriteTimes stays the real time spent persisting rather than being
 	// inflated by the batch factor.
@@ -504,13 +539,17 @@ func (p *pipeline) tuneSample() (recentLat, depth float64) {
 
 // snapshot captures the pipeline metrics at a point in time.
 func (p *pipeline) snapshot(queueDepth int) PipelineStats {
-	wall := time.Since(p.start).Seconds()
 	var spill SpillStats
 	if p.scratch != nil {
 		spill = p.scratch.stats()
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	end := time.Now()
+	if !p.stopped.IsZero() {
+		end = p.stopped
+	}
+	wall := end.Sub(p.start).Seconds()
 	return PipelineStats{
 		Spill:        spill,
 		Workers:      p.ws.Workers(),

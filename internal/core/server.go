@@ -11,6 +11,7 @@ import (
 	"damaris/internal/dsf"
 	"damaris/internal/event"
 	"damaris/internal/metadata"
+	"damaris/internal/obs"
 	"damaris/internal/stats"
 	"damaris/internal/store"
 )
@@ -66,6 +67,13 @@ type Server struct {
 	lastIter  time.Time       // previous iteration-completion instant (event loop only)
 	lastHeavy time.Time       // previous encode/store/ring sampling instant (event loop only)
 
+	// tracer records iteration-lifecycle spans (nil = tracing off);
+	// iterFirst tracks each open iteration's first client event so the
+	// StageWrite span covers the whole server-side write phase. The map is
+	// touched only on the event loop (Run and its flushIteration hook).
+	tracer    *obs.Tracer
+	iterFirst map[int64]time.Time
+
 	closeOnce sync.Once
 
 	mu           sync.Mutex
@@ -105,6 +113,8 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		group:     group,
 		persister: opts.Persister,
 		scheduler: opts.Scheduler,
+		tracer:    opts.Obs.Tracer(),
+		iterFirst: make(map[int64]time.Time),
 	}
 	if sagg != nil {
 		// Aggregation layer on: this server persists through its member
@@ -148,8 +158,13 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 			s.encPool = dsf.NewEncodePool(cfg.EncodeWorkers)
 			p.SetEncodePool(s.encPool)
 		}
+		p.SetTracer(s.tracer)
 		s.persister = p
 	}
+	// The pools and persisters the server owns trace under its rank; shared
+	// external ones wire their own tracer (see DSFPersister.SetTracer), the
+	// same ownership rule the encode pool follows.
+	s.encPool.SetTracer(s.tracer, worldRank)
 	if cfg.ControlAuto() {
 		// Adaptive control plane: the configured knobs become the starting
 		// point of a feedback-tuned range. Config.Validate has already
@@ -241,6 +256,7 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		}
 		s.pipe = newPipeline(s.persister, s.scheduler,
 			workers, depth, s.iterationDurable)
+		s.pipe.attachTracer(s.tracer, worldRank)
 		if cfg.SpillDir != "" {
 			// Degraded-mode scratch file, one per dedicated core. Opening it
 			// also performs crash recovery: frames a previous run left behind
@@ -262,6 +278,14 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 	eng.OnAllExited = func() error {
 		s.queue.Close()
 		return nil
+	}
+	if reg := opts.Obs.Registry(); reg != nil {
+		// Live scrapes read the exact snapshot functions the end-of-run
+		// report prints — the two can never disagree.
+		reg.Collect(func(e *obs.Emitter) {
+			s.PipelineStats().Emit(e, "server", fmt.Sprint(worldRank))
+			s.emitServer(e, "server", fmt.Sprint(worldRank))
+		})
 	}
 	return s, nil
 }
@@ -304,6 +328,11 @@ func (s *Server) Run() error {
 			break
 		}
 		busyStart := time.Now()
+		if s.tracer != nil && ev.Kind == event.WriteNotification {
+			if _, seen := s.iterFirst[ev.Iteration]; !seen {
+				s.iterFirst[ev.Iteration] = busyStart
+			}
+		}
 		if err := s.eng.Handle(ev); err != nil {
 			s.mu.Lock()
 			s.handleErrs = append(s.handleErrs, err)
@@ -415,6 +444,18 @@ func isFlushError(err error) bool {
 // stay pinned until a writer reports the iteration durable.
 func (s *Server) flushIteration(it int64) error {
 	entries := s.eng.Store().TakeIteration(it)
+	if s.tracer != nil {
+		// StageWrite: first client write notification → iteration complete,
+		// the server-side view of the write phase the paper measures.
+		if t0, ok := s.iterFirst[it]; ok {
+			delete(s.iterFirst, it)
+			var bytes int64
+			for _, e := range entries {
+				bytes += e.Size()
+			}
+			s.tracer.RecordSince(obs.StageWrite, s.id, it, t0, bytes, false)
+		}
+	}
 	// Aggregation on: contribute to the node's merge here, from the event
 	// loop, so this member's epochs enter the fan-in ring in ascending order
 	// (the property the leader's in-order emission — and the cross-node

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"damaris/internal/control"
+	"damaris/internal/obs"
 	"damaris/internal/stats"
 	"damaris/internal/transform"
 )
@@ -86,6 +87,7 @@ type encodeJob struct {
 	codec    Codec
 	elemSize int
 	level    int
+	iter     int64 // chunk's iteration, carried for lifecycle tracing
 	result   chan<- encodeResult
 }
 
@@ -104,6 +106,16 @@ type EncodePool struct {
 	jobs  chan encodeJob
 	wg    sync.WaitGroup
 	start time.Time
+	// stopped freezes the utilization wall clock once Close drains, so a
+	// quiesced pool's Stats (and its registry exposition) stop changing.
+	// Guarded by mu; zero while running.
+	stopped time.Time
+
+	// tracer, when set, receives one StageEncode span per chunk; trServer
+	// labels them with the owning dedicated core's world rank. Written
+	// before the first WriteChunks (SetTracer), read by workers.
+	tracer   *obs.Tracer
+	trServer int
 
 	mu          sync.Mutex
 	ws          control.WorkerSet // resizable worker-slot bookkeeping
@@ -146,6 +158,20 @@ func (p *EncodePool) startWorker(slot int, stop chan struct{}) {
 	go p.worker(slot, stop)
 }
 
+// SetTracer attaches a lifecycle tracer: every chunk encoded by the pool
+// records one StageEncode span labelled with the owning dedicated core's
+// world rank. A nil tracer (or receiver) disables tracing. Safe to call
+// while workers run; spans already in flight keep the previous tracer.
+func (p *EncodePool) SetTracer(tr *obs.Tracer, server int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.tracer = tr
+	p.trServer = server
+	p.mu.Unlock()
+}
+
 // Workers returns the commanded pool size (0 for a nil pool).
 func (p *EncodePool) Workers() int {
 	if p == nil {
@@ -180,6 +206,9 @@ func (p *EncodePool) Close() {
 	}
 	close(p.jobs)
 	p.wg.Wait()
+	p.mu.Lock()
+	p.stopped = time.Now()
+	p.mu.Unlock()
 }
 
 func (p *EncodePool) worker(id int, stop chan struct{}) {
@@ -202,7 +231,8 @@ func (p *EncodePool) worker(id int, stop chan struct{}) {
 			}
 			start := time.Now()
 			ec, err := encodeChunk(job.data, job.codec, job.elemSize, job.level)
-			dur := time.Since(start).Seconds()
+			wall := time.Since(start)
+			dur := wall.Seconds()
 			p.mu.Lock()
 			p.ws.AddBusy(id, dur)
 			p.latAcc.Add(dur)
@@ -213,7 +243,9 @@ func (p *EncodePool) worker(id int, stop chan struct{}) {
 			} else {
 				p.storedBytes += int64(len(ec.stored))
 			}
+			tr, srv := p.tracer, p.trServer
 			p.mu.Unlock()
+			tr.Record(obs.StageEncode, srv, job.iter, start, wall, int64(len(job.data)), err != nil)
 			job.result <- encodeResult{ec: ec, err: err}
 		}
 	}
@@ -266,9 +298,13 @@ func (p *EncodePool) Stats() EncodeStats {
 	if p == nil {
 		return EncodeStats{}
 	}
-	wall := time.Since(p.start).Seconds()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	end := time.Now()
+	if !p.stopped.IsZero() {
+		end = p.stopped
+	}
+	wall := end.Sub(p.start).Seconds()
 	return EncodeStats{
 		Workers:          p.ws.Workers(),
 		Chunks:           p.chunks,
@@ -280,6 +316,20 @@ func (p *EncodePool) Stats() EncodeStats {
 		MaxBytesInFlight: p.maxInFlight,
 		Resizes:          p.ws.Resizes(),
 	}
+}
+
+// Emit writes the snapshot into a registry gather under the damaris_encode_*
+// families — the live-scrape twin of the end-of-run encode report.
+func (s EncodeStats) Emit(e *obs.Emitter, labels ...string) {
+	e.Gauge("damaris_encode_workers", float64(s.Workers), labels...)
+	e.Counter("damaris_encode_chunks_total", float64(s.Chunks), labels...)
+	e.Counter("damaris_encode_failures_total", float64(s.Failures), labels...)
+	e.Counter("damaris_encode_raw_bytes_total", float64(s.RawBytes), labels...)
+	e.Counter("damaris_encode_stored_bytes_total", float64(s.StoredBytes), labels...)
+	e.Counter("damaris_encode_resizes_total", float64(s.Resizes), labels...)
+	e.Gauge("damaris_encode_utilization", s.Utilization, labels...)
+	e.Gauge("damaris_encode_bytes_in_flight_max", float64(s.MaxBytesInFlight), labels...)
+	e.Summary("damaris_encode_seconds", s.Latency, labels...)
 }
 
 // WriteChunks encodes and appends a batch of chunks. With a non-nil pool the
@@ -334,6 +384,7 @@ func (w *Writer) WriteChunks(metas []ChunkMeta, datas [][]byte, pool *EncodePool
 				codec:    metas[i].Codec,
 				elemSize: metas[i].Layout.Type().Size(),
 				level:    w.level,
+				iter:     metas[i].Iteration,
 				result:   results[i],
 			}, int64(len(datas[i])))
 		}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"damaris/internal/dsf"
+	"damaris/internal/obs"
 	"damaris/internal/stats"
 	"damaris/internal/store"
 	"damaris/internal/viz"
@@ -73,6 +74,12 @@ type Config struct {
 	// proxies them through this replica, false answers 307 so the client
 	// re-requests the owner directly.
 	Forward bool
+
+	// Obs is the telemetry plane the gateway registers its stats on and
+	// serves over its mux (/metrics, /v1/metrics, /trace, /jitter, pprof).
+	// Nil means the gateway builds a private plane, so the read plane always
+	// exposes the same metrics schema as the write plane.
+	Obs *obs.Plane
 }
 
 // Stats is a snapshot of one gateway's serving metrics, in the same style
@@ -124,6 +131,33 @@ func (s Stats) TOCHitRate() float64 {
 	return float64(s.TOCHits) / float64(total)
 }
 
+// Emit writes the snapshot into a registry gather under the
+// damaris_gateway_* families — the same figures /v1/stats serves as JSON,
+// from the same snapshot function.
+func (s Stats) Emit(e *obs.Emitter, labels ...string) {
+	e.Counter("damaris_gateway_requests_total", float64(s.Requests), labels...)
+	e.Counter("damaris_gateway_toc_hits_total", float64(s.TOCHits), labels...)
+	e.Counter("damaris_gateway_toc_misses_total", float64(s.TOCMisses), labels...)
+	e.Counter("damaris_gateway_toc_revalidations_total", float64(s.TOCRevalidations), labels...)
+	e.Counter("damaris_gateway_toc_invalidations_total", float64(s.TOCInvalidations), labels...)
+	e.Counter("damaris_gateway_toc_evictions_total", float64(s.TOCEvictions), labels...)
+	e.Counter("damaris_gateway_part_hits_total", float64(s.PartHits), labels...)
+	e.Counter("damaris_gateway_part_misses_total", float64(s.PartMisses), labels...)
+	e.Counter("damaris_gateway_part_evictions_total", float64(s.PartEvictions), labels...)
+	e.Gauge("damaris_gateway_part_cache_bytes", float64(s.PartCacheBytes), labels...)
+	e.Gauge("damaris_gateway_part_cache_parts", float64(s.PartCacheParts), labels...)
+	e.Counter("damaris_gateway_backend_gets_total", float64(s.BackendGets), labels...)
+	e.Counter("damaris_gateway_fetch_bytes_total", float64(s.FetchBytes), labels...)
+	e.Counter("damaris_gateway_bytes_served_total", float64(s.BytesServed), labels...)
+	e.Gauge("damaris_gateway_ranges_in_flight", float64(s.RangesInFlight), labels...)
+	e.Gauge("damaris_gateway_ranges_in_flight_max", float64(s.MaxRangesInFlight), labels...)
+	e.Counter("damaris_gateway_forwards_total", float64(s.Forwards), labels...)
+	e.Counter("damaris_gateway_redirects_total", float64(s.Redirects), labels...)
+	e.Gauge("damaris_gateway_part_hit_rate", s.PartHitRate(), labels...)
+	e.Gauge("damaris_gateway_toc_hit_rate", s.TOCHitRate(), labels...)
+	e.Summary("damaris_gateway_fetch_seconds", s.FetchLatency, labels...)
+}
+
 // Gateway serves read traffic for one backend. Safe for concurrent use; it
 // holds no per-request state and no lock across a backend fetch.
 type Gateway struct {
@@ -132,6 +166,7 @@ type Gateway struct {
 	stater  store.ObjectStater // nil when the backend can't stat objects
 	parts   *partLRU
 	sem     chan struct{} // bounds concurrent backend part fetches
+	obs     *obs.Plane    // never nil; New defaults a private plane
 
 	mu       sync.Mutex
 	tocs     map[string]*tocEntry
@@ -189,8 +224,23 @@ func New(cfg Config) (*Gateway, error) {
 		inflight: make(map[string]*partFetch),
 	}
 	g.stater, _ = cfg.Backend.(store.ObjectStater)
+	g.obs = cfg.Obs
+	if g.obs == nil {
+		g.obs = obs.NewPlane(0)
+	}
+	// The live scrape reads the same Stats snapshot /v1/stats serves and the
+	// end-of-run report prints; the backend's metrics ride along when it
+	// exposes them.
+	g.obs.Registry().Collect(func(e *obs.Emitter) {
+		g.Stats().Emit(e)
+		g.backend.Stats().Emit(e)
+	})
 	return g, nil
 }
+
+// Obs returns the gateway's telemetry plane (the configured one, or the
+// private plane New built).
+func (g *Gateway) Obs() *obs.Plane { return g.obs }
 
 // tocEntry is one cached decoded object. ready gates waiters while the
 // first request builds the entry; err entries are evicted immediately so

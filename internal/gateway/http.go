@@ -12,6 +12,7 @@ import (
 
 	"damaris/internal/dsf"
 	"damaris/internal/mpi"
+	"damaris/internal/obs"
 	"damaris/internal/store"
 )
 
@@ -56,6 +57,10 @@ func (g *Gateway) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /v1/stats", g.countReq(g.handleStats))
+	// Telemetry-plane routes (/metrics, /metrics.json, /v1/metrics, /trace,
+	// /jitter, /debug/pprof/...) fold into the same mux, so the read plane
+	// exposes the exact schema damaris-run's -metrics-addr listener serves.
+	obs.RegisterRoutes(mux, g.obs)
 	mux.HandleFunc("GET /v1/objects", g.countReq(g.handleObjects))
 	mux.HandleFunc("GET /v1/variables", g.countReq(g.handleVariables))
 	mux.HandleFunc("GET /v1/iterations", g.countReq(g.handleIterations))
@@ -143,8 +148,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// statsResponse is the /v1/stats body: the classic Stats snapshot plus the
+// registry-backed metric samples, so one request carries both views and they
+// come from the same gather.
+type statsResponse struct {
+	Stats
+	Metrics []obs.MetricJSON `json:"metrics"`
+}
+
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, g.Stats())
+	writeJSON(w, statsResponse{Stats: g.Stats(), Metrics: g.obs.Registry().GatherJSON()})
 }
 
 func (g *Gateway) handleObjects(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"damaris/internal/stats"
+)
+
+// Plane bundles the telemetry a process exposes: one metrics registry and
+// one lifecycle tracer, plus the HTTP exposition handler both damaris-run
+// (-metrics-addr) and damaris-gate (folded into its mux) serve. All
+// methods tolerate a nil receiver — subsystems wire telemetry
+// unconditionally and a nil plane means "observability off".
+type Plane struct {
+	reg   *Registry
+	trace *Tracer
+}
+
+// NewPlane builds a plane whose trace ring retains ringSlots spans
+// (<=0 selects DefaultTraceSlots). The tracer's registry view is
+// pre-registered.
+func NewPlane(ringSlots int) *Plane {
+	if ringSlots <= 0 {
+		ringSlots = DefaultTraceSlots
+	}
+	p := &Plane{reg: NewRegistry(), trace: NewTracer(ringSlots)}
+	p.reg.Collect(p.trace.Collect)
+	return p
+}
+
+// Registry returns the plane's metrics registry (nil for a nil plane).
+func (p *Plane) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
+}
+
+// Tracer returns the plane's lifecycle tracer (nil for a nil plane).
+func (p *Plane) Tracer() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.trace
+}
+
+// StageJitter is one stage's live jitter figures in the /jitter document —
+// exact percentiles over the retained spans plus the paper's Spread.
+type StageJitter struct {
+	Stage  string  `json:"stage"`
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean_s"`
+	Min    float64 `json:"min_s"`
+	Max    float64 `json:"max_s"`
+	P50    float64 `json:"p50_s"`
+	P95    float64 `json:"p95_s"`
+	P99    float64 `json:"p99_s"`
+	Spread float64 `json:"spread_s"`
+}
+
+// JitterReport computes the per-stage jitter document. The HTTP /jitter
+// route and damaris-run's end-of-run jitter lines both call this — the
+// single code path that makes live scrape and final report agree exactly.
+func (p *Plane) JitterReport() []StageJitter {
+	if p == nil {
+		return nil
+	}
+	var out []StageJitter
+	for st := Stage(0); st < NumStages; st++ {
+		s := p.trace.StageSummary(st)
+		if s.N == 0 {
+			continue
+		}
+		out = append(out, stageJitterOf(st.String(), s))
+	}
+	return out
+}
+
+func stageJitterOf(stage string, s stats.Summary) StageJitter {
+	return StageJitter{
+		Stage:  stage,
+		Count:  s.N,
+		Mean:   s.Mean,
+		Min:    s.Min,
+		Max:    s.Max,
+		P50:    s.Median,
+		P95:    s.P95,
+		P99:    s.P99,
+		Spread: s.Spread(),
+	}
+}
+
+// Handler returns the exposition endpoint:
+//
+//	GET /metrics            Prometheus text format
+//	GET /metrics.json       JSON exposition (MetricsDoc)
+//	GET /v1/metrics         alias of /metrics.json (the gateway serves the
+//	                        same route over its registry — one schema for
+//	                        the read and write planes)
+//	GET /trace              retained lifecycle spans, JSONL
+//	GET /trace?format=chrome  Chrome trace-event format (chrome://tracing)
+//	GET /jitter             per-stage live jitter percentiles + Spread
+//	GET /healthz            liveness
+//	GET /debug/pprof/...    net/http/pprof behind the same listener
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	RegisterRoutes(mux, p)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// RegisterRoutes mounts the plane's exposition routes onto an existing mux
+// — how damaris-gate folds telemetry into its API mux instead of opening a
+// second listener.
+func RegisterRoutes(mux *http.ServeMux, p *Plane) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		p.Registry().WritePrometheus(w)
+	})
+	jsonMetrics := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		p.Registry().WriteJSON(w)
+	}
+	mux.HandleFunc("GET /metrics.json", jsonMetrics)
+	mux.HandleFunc("GET /v1/metrics", jsonMetrics)
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		tr := p.Tracer()
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			tr.WriteChrome(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		tr.WriteJSONL(w)
+	})
+	mux.HandleFunc("GET /jitter", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		report := p.JitterReport()
+		if report == nil {
+			report = []StageJitter{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// RecordSince is the convenience most instrumentation points use: record a
+// span that started at `start` and ends now.
+func (t *Tracer) RecordSince(stage Stage, server int, iteration int64, start time.Time, bytes int64, isErr bool) {
+	if t == nil {
+		return
+	}
+	t.Record(stage, server, iteration, start, time.Since(start), bytes, isErr)
+}

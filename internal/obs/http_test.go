@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func planeWithSpans(t *testing.T) *Plane {
+	t.Helper()
+	p := NewPlane(64)
+	p.Registry().Counter("damaris_test_total").Add(3)
+	tr := p.Tracer()
+	tr.Record(StagePersist, 0, 1, time.Unix(0, 1000), 2*time.Millisecond, 128, false)
+	tr.Record(StagePersist, 0, 2, time.Unix(0, 2000), 4*time.Millisecond, 128, false)
+	tr.Record(StageSpill, 0, 3, time.Unix(0, 3000), time.Millisecond, 64, false)
+	return p
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestPlaneRoutes(t *testing.T) {
+	p := planeWithSpans(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	body, ct := get(t, srv, "/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"damaris_test_total 3",
+		"damaris_trace_spans_total 3",
+		`damaris_stage_seconds_bucket{stage="persist",le=`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// The JSON exposition and its /v1/metrics alias serve identical bytes.
+	j1, ct := get(t, srv, "/metrics.json")
+	if ct != "application/json" {
+		t.Errorf("/metrics.json content type %q", ct)
+	}
+	j2, _ := get(t, srv, "/v1/metrics")
+	if j1 != j2 {
+		t.Error("/metrics.json and /v1/metrics served different bytes")
+	}
+	var doc MetricsDoc
+	if err := json.Unmarshal([]byte(j1), &doc); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("metrics JSON is empty")
+	}
+
+	body, _ = get(t, srv, "/trace")
+	spans, err := ReadSpansJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("trace JSONL: %v", err)
+	}
+	if !reflect.DeepEqual(spans, p.Tracer().Snapshot()) {
+		t.Error("/trace does not round-trip the retained spans")
+	}
+
+	body, ct = get(t, srv, "/trace?format=chrome")
+	if ct != "application/json" {
+		t.Errorf("chrome trace content type %q", ct)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+	if len(chrome.TraceEvents) != 3 {
+		t.Fatalf("chrome trace has %d events, want 3", len(chrome.TraceEvents))
+	}
+
+	body, _ = get(t, srv, "/jitter")
+	var scraped []StageJitter
+	if err := json.Unmarshal([]byte(body), &scraped); err != nil {
+		t.Fatalf("jitter: %v", err)
+	}
+	if !reflect.DeepEqual(scraped, p.JitterReport()) {
+		t.Errorf("scraped jitter %+v != direct report %+v", scraped, p.JitterReport())
+	}
+
+	body, _ = get(t, srv, "/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	if _, ct := get(t, srv, "/debug/pprof/cmdline"); ct == "" {
+		t.Error("pprof route not mounted")
+	}
+}
+
+func TestJitterReport(t *testing.T) {
+	p := planeWithSpans(t)
+	rep := p.JitterReport()
+	if len(rep) != 2 {
+		t.Fatalf("jitter has %d stages, want 2 (persist, spill)", len(rep))
+	}
+	var persist *StageJitter
+	for i := range rep {
+		if rep[i].Stage == "persist" {
+			persist = &rep[i]
+		}
+	}
+	if persist == nil {
+		t.Fatalf("no persist stage in %+v", rep)
+	}
+	if persist.Count != 2 || persist.Min != 0.002 || persist.Max != 0.004 {
+		t.Fatalf("persist jitter %+v", *persist)
+	}
+	if persist.Spread != persist.Max-persist.Min {
+		t.Fatalf("spread %g != max-min", persist.Spread)
+	}
+}
+
+func TestNilPlaneSafe(t *testing.T) {
+	var p *Plane
+	if p.Registry() != nil || p.Tracer() != nil || p.JitterReport() != nil {
+		t.Fatal("nil plane is not inert")
+	}
+	// A mux over a nil plane must serve empty documents, not crash.
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	if body, _ := get(t, srv, "/metrics"); body != "" {
+		t.Errorf("/metrics over nil plane = %q", body)
+	}
+	if body, _ := get(t, srv, "/jitter"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("/jitter over nil plane = %q", body)
+	}
+}

@@ -26,34 +26,30 @@ type Summary struct {
 }
 
 // Summarize computes a Summary over xs. It returns a zero Summary when xs is
-// empty.
+// empty. One sorted copy of the sample feeds Min, Max, Median, P95 and P99
+// alike, so every order statistic is derived from the same state instead of
+// each re-scanning (or re-validating) the input on its own.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{N: len(sorted), Min: sorted[0], Max: sorted[len(sorted)-1]}
 	var sum float64
-	for _, x := range xs {
+	for _, x := range sorted {
 		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
 	}
-	s.Mean = sum / float64(len(xs))
+	s.Mean = sum / float64(len(sorted))
 	var ss float64
-	for _, x := range xs {
+	for _, x := range sorted {
 		d := x - s.Mean
 		ss += d * d
 	}
-	s.Stddev = math.Sqrt(ss / float64(len(xs)))
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	s.Median = Percentile(sorted, 50)
-	s.P95 = Percentile(sorted, 95)
-	s.P99 = Percentile(sorted, 99)
+	s.Stddev = math.Sqrt(ss / float64(len(sorted)))
+	s.Median = percentileSorted(sorted, 50)
+	s.P95 = percentileSorted(sorted, 95)
+	s.P99 = percentileSorted(sorted, 99)
 	return s
 }
 
@@ -76,13 +72,19 @@ func (s Summary) String() string {
 		s.N, s.Mean, s.Min, s.Max, s.Stddev)
 }
 
-// Percentile returns the p-th percentile (0..100) of sorted (ascending) data
-// using linear interpolation between closest ranks. sorted must be
-// non-empty and sorted; Percentile panics otherwise inputs are empty.
+// Percentile returns the p-th percentile (0..100) of sorted (ascending)
+// data using linear interpolation between closest ranks. sorted must be
+// non-empty and already sorted ascending; Percentile panics if it is empty.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		panic("stats: Percentile of empty slice")
 	}
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile without the emptiness re-check, for
+// callers (Summarize) that have already validated the sample once.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

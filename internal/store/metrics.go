@@ -3,6 +3,7 @@ package store
 import (
 	"sync"
 
+	"damaris/internal/obs"
 	"damaris/internal/stats"
 )
 
@@ -54,6 +55,36 @@ func (s Stats) DedupeHitRate() float64 {
 		return 0
 	}
 	return float64(s.DedupeHits) / float64(total)
+}
+
+// Emit writes the snapshot into a registry gather under the damaris_store_*
+// families — the live-scrape view of the exact figures the end-of-run store
+// report prints. Extra labels (e.g. server rank) are appended to the
+// backend's scheme label on every sample.
+func (s Stats) Emit(e *obs.Emitter, labels ...string) {
+	ls := labels
+	if s.Scheme != "" {
+		ls = append([]string{"scheme", s.Scheme}, labels...)
+	}
+	e.Counter("damaris_store_puts_total", float64(s.Puts), ls...)
+	e.Counter("damaris_store_gets_total", float64(s.Gets), ls...)
+	e.Counter("damaris_store_deletes_total", float64(s.Deletes), ls...)
+	e.Counter("damaris_store_put_bytes_total", float64(s.PutBytes), ls...)
+	e.Counter("damaris_store_get_bytes_total", float64(s.GetBytes), ls...)
+	e.Counter("damaris_store_failures_total", float64(s.Failures), ls...)
+	e.Counter("damaris_store_retries_total", float64(s.Retries), ls...)
+	e.Counter("damaris_store_backoffs_total", float64(s.Backoffs), ls...)
+	e.Counter("damaris_store_backoff_seconds_total", s.BackoffSeconds, ls...)
+	e.Counter("damaris_store_put_timeouts_total", float64(s.PutTimeouts), ls...)
+	e.Counter("damaris_store_hedges_total", float64(s.Hedges), ls...)
+	e.Counter("damaris_store_hedge_wins_total", float64(s.HedgeWins), ls...)
+	e.Counter("damaris_store_dedupe_hits_total", float64(s.DedupeHits), ls...)
+	e.Counter("damaris_store_dedupe_bytes_total", float64(s.DedupeBytes), ls...)
+	e.Counter("damaris_store_commits_total", float64(s.Commits), ls...)
+	e.Gauge("damaris_store_parts_in_flight", float64(s.PartsInFlight), ls...)
+	e.Gauge("damaris_store_parts_in_flight_max", float64(s.MaxPartsInFlight), ls...)
+	e.Summary("damaris_store_put_seconds", s.PutLatency, ls...)
+	e.Summary("damaris_store_get_seconds", s.GetLatency, ls...)
 }
 
 // metrics is the mutex-guarded accumulator both backends embed.
