@@ -220,6 +220,13 @@ func runObsLive() (obsLive, error) {
 	live.Spilled = run.Spilled
 	live.DegradedDecisions = run.DegradedDecisions
 
+	// A scraper rejects the whole page on a duplicate series or a split
+	// TYPE block, so a colliding family name must fail the bench, not the
+	// first real scrape.
+	if err := plane.Registry().CheckExposition(); err != nil {
+		return live, fmt.Errorf("live exposition unparseable: %w", err)
+	}
+
 	srv := httptest.NewServer(plane.Handler())
 	defer srv.Close()
 

@@ -52,8 +52,10 @@ func main() {
 	defer backend.Close()
 
 	// The telemetry plane folds into the gateway's own mux (no second
-	// listener): /metrics, /metrics.json, /v1/metrics, /jitter and
-	// /debug/pprof ride on -listen next to the data API.
+	// listener): /metrics, /metrics.json, /v1/metrics and /jitter ride on
+	// -listen next to the data API. pprof does not — the gateway mux is
+	// client-facing, and profiling stays on damaris-run's dedicated
+	// -metrics-addr listener.
 	cfg := gateway.Config{
 		Backend:        backend,
 		PartCacheBytes: *partMB << 20,

@@ -289,8 +289,14 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 // serves, so a live scrape and this report always agree.
 func reportJitter(plane *obs.Plane) {
 	for _, j := range plane.JitterReport() {
-		fmt.Printf("jitter[%s]: n=%d mean=%.2gs p50=%.2gs p95=%.2gs p99=%.2gs spread=%.2gs\n",
-			j.Stage, j.Count, j.Mean, j.P50, j.P95, j.P99, j.Spread)
+		window := ""
+		if j.Truncated {
+			// The ring overwrote older spans: these percentiles describe
+			// only the most recent n of the stage's total spans.
+			window = fmt.Sprintf(" (ring kept last %d of %d spans)", j.Count, j.Total)
+		}
+		fmt.Printf("jitter[%s]: n=%d mean=%.2gs p50=%.2gs p95=%.2gs p99=%.2gs spread=%.2gs%s\n",
+			j.Stage, j.Count, j.Mean, j.P50, j.P95, j.P99, j.Spread, window)
 	}
 }
 

@@ -308,7 +308,10 @@ func (s Stats) Emit(e *obs.Emitter, labels ...string) {
 	e.Gauge("damaris_aggregate_ring_max", float64(s.RingMax), ls...)
 	e.Summary("damaris_aggregate_ring_depth", s.RingDepth, ls...)
 	e.Summary("damaris_aggregate_durability_window_epochs", s.DurabilityWindow, ls...)
-	e.Gauge("damaris_aggregate_durability_window_epochs_max", float64(s.DurabilityWindowMax), ls...)
+	// Named so it cannot collide with the `_max` companion the summary
+	// above already emits — a duplicate series would make Prometheus
+	// reject the whole scrape.
+	e.Gauge("damaris_aggregate_durability_window_max_epochs", float64(s.DurabilityWindowMax), ls...)
 }
 
 // lead is one leader term: drain the fan-in ring, emit every epoch that

@@ -10,6 +10,8 @@ import (
 	"damaris/internal/dsf"
 	"damaris/internal/layout"
 	"damaris/internal/metadata"
+	"damaris/internal/obs"
+	"damaris/internal/stats"
 )
 
 // memEpochWriter renders each merged epoch as a real DSF byte stream in
@@ -472,6 +474,34 @@ func TestRingOccupancy(t *testing.T) {
 	agg.MemberDone(0)
 	agg.MemberDone(1)
 	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsEmitExposable pins the regression where the durability-window
+// gauge was named exactly like the `_max` companion the summary on the same
+// family auto-emits: the duplicate series (and duplicate TYPE line) made
+// Prometheus reject the whole scrape whenever aggregation was on. Emitting
+// at both tiers mirrors how core wires PipelineStats.
+func TestStatsEmitExposable(t *testing.T) {
+	s := Stats{
+		Mode:                "core",
+		Members:             2,
+		Epochs:              5,
+		Contributions:       10,
+		MergedChunks:        7,
+		MergedBytes:         1 << 20,
+		RingDepth:           stats.Summarize([]float64{1, 2, 3}),
+		RingMax:             3,
+		DurabilityWindow:    stats.Summarize([]float64{0, 1, 2}),
+		DurabilityWindowMax: 2,
+	}
+	reg := obs.NewRegistry()
+	reg.Collect(func(e *obs.Emitter) {
+		s.Emit(e, "tier", "node")
+		s.Emit(e, "tier", "global")
+	})
+	if err := reg.CheckExposition(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -76,9 +76,10 @@ type Config struct {
 	Forward bool
 
 	// Obs is the telemetry plane the gateway registers its stats on and
-	// serves over its mux (/metrics, /v1/metrics, /trace, /jitter, pprof).
-	// Nil means the gateway builds a private plane, so the read plane always
-	// exposes the same metrics schema as the write plane.
+	// serves over its mux (/metrics, /v1/metrics, /trace, /jitter — not
+	// pprof, which stays off the client-facing mux). Nil means the gateway
+	// builds a private plane, so the read plane always exposes the same
+	// metrics schema as the write plane.
 	Obs *obs.Plane
 }
 

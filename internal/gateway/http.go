@@ -58,8 +58,10 @@ func (g *Gateway) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", g.countReq(g.handleStats))
 	// Telemetry-plane routes (/metrics, /metrics.json, /v1/metrics, /trace,
-	// /jitter, /debug/pprof/...) fold into the same mux, so the read plane
-	// exposes the exact schema damaris-run's -metrics-addr listener serves.
+	// /jitter) fold into the same mux, so the read plane exposes the exact
+	// schema damaris-run's -metrics-addr listener serves. pprof is NOT
+	// mounted here — this mux faces data clients, and profiles would be
+	// both an information leak and a DoS vector.
 	obs.RegisterRoutes(mux, g.obs)
 	mux.HandleFunc("GET /v1/objects", g.countReq(g.handleObjects))
 	mux.HandleFunc("GET /v1/variables", g.countReq(g.handleVariables))

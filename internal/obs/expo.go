@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"strings"
 )
@@ -47,6 +48,61 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteByte('\n')
 	}
 	return bw.Flush()
+}
+
+// CheckExposition scans the gathered samples for collisions that would make
+// the Prometheus rendering unparseable — a scraper rejects the whole page on
+// any of them, so these are registration bugs, not data:
+//
+//   - two samples sharing name+labels (e.g. a gauge named like a summary's
+//     `_max` companion, with the same label set);
+//   - one family claimed by two metric kinds;
+//   - a family whose samples are not contiguous in sort order, which would
+//     render duplicate TYPE lines.
+//
+// The obs bench runs it against the full live plane, and subsystem tests run
+// it over their Emit output, so a colliding family name fails CI instead of
+// the first real scrape.
+func (r *Registry) CheckExposition() error {
+	var lastKey, lastFam string
+	kinds := make(map[string]Kind)
+	families := make(map[string]bool)
+	for i, s := range r.Gather() {
+		key := s.Name + "\x01" + labelKey(s.Labels)
+		if i > 0 && key == lastKey {
+			return fmt.Errorf("obs: duplicate sample %s%s", s.Name, renderLabels(s.Labels))
+		}
+		lastKey = key
+		fam := familyOf(s)
+		if k, ok := kinds[fam]; ok && k != s.Kind {
+			return fmt.Errorf("obs: family %s exposed as both %s and %s", fam, k, s.Kind)
+		}
+		kinds[fam] = s.Kind
+		if fam != lastFam {
+			if families[fam] {
+				return fmt.Errorf("obs: family %s split into multiple TYPE blocks", fam)
+			}
+			families[fam] = true
+			lastFam = fam
+		}
+	}
+	return nil
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // familyOf maps a sample to its family name: histogram and summary

@@ -50,16 +50,22 @@ func (p *Plane) Tracer() *Tracer {
 
 // StageJitter is one stage's live jitter figures in the /jitter document —
 // exact percentiles over the retained spans plus the paper's Spread.
+// Count is the number of spans the percentiles were computed over; Total is
+// how many the stage recorded over the whole run. When the ring has
+// overwritten older spans the two differ and Truncated is set: the
+// percentiles then describe only the most recent Count spans, not the run.
 type StageJitter struct {
-	Stage  string  `json:"stage"`
-	Count  int     `json:"count"`
-	Mean   float64 `json:"mean_s"`
-	Min    float64 `json:"min_s"`
-	Max    float64 `json:"max_s"`
-	P50    float64 `json:"p50_s"`
-	P95    float64 `json:"p95_s"`
-	P99    float64 `json:"p99_s"`
-	Spread float64 `json:"spread_s"`
+	Stage     string  `json:"stage"`
+	Count     int     `json:"count"`
+	Total     int64   `json:"total"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Mean      float64 `json:"mean_s"`
+	Min       float64 `json:"min_s"`
+	Max       float64 `json:"max_s"`
+	P50       float64 `json:"p50_s"`
+	P95       float64 `json:"p95_s"`
+	P99       float64 `json:"p99_s"`
+	Spread    float64 `json:"spread_s"`
 }
 
 // JitterReport computes the per-stage jitter document. The HTTP /jitter
@@ -75,7 +81,12 @@ func (p *Plane) JitterReport() []StageJitter {
 		if s.N == 0 {
 			continue
 		}
-		out = append(out, stageJitterOf(st.String(), s))
+		j := stageJitterOf(st.String(), s)
+		// The lifetime stage histogram never truncates; its count is how
+		// many spans the ring would have needed to keep them all.
+		j.Total = p.trace.StageHistogram(st).Count()
+		j.Truncated = int64(j.Count) < j.Total
+		out = append(out, j)
 	}
 	return out
 }
@@ -106,9 +117,13 @@ func stageJitterOf(stage string, s stats.Summary) StageJitter {
 //	GET /jitter             per-stage live jitter percentiles + Spread
 //	GET /healthz            liveness
 //	GET /debug/pprof/...    net/http/pprof behind the same listener
+//
+// Handler is for a dedicated, operator-facing telemetry listener
+// (damaris-run's -metrics-addr); it is the only place pprof is mounted.
 func (p *Plane) Handler() http.Handler {
 	mux := http.NewServeMux()
 	RegisterRoutes(mux, p)
+	RegisterDebugRoutes(mux)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -117,7 +132,10 @@ func (p *Plane) Handler() http.Handler {
 
 // RegisterRoutes mounts the plane's exposition routes onto an existing mux
 // — how damaris-gate folds telemetry into its API mux instead of opening a
-// second listener.
+// second listener. It deliberately does NOT mount pprof: profiles and the
+// process cmdline are information exposure, and /debug/pprof/profile is a
+// free DoS on a serving endpoint, so a public API mux must not carry them
+// (use RegisterDebugRoutes on a dedicated listener instead).
 func RegisterRoutes(mux *http.ServeMux, p *Plane) {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -149,6 +167,12 @@ func RegisterRoutes(mux *http.ServeMux, p *Plane) {
 		enc.SetIndent("", "  ")
 		enc.Encode(report)
 	})
+}
+
+// RegisterDebugRoutes mounts net/http/pprof. Keep it off anything a data
+// client can reach; Plane.Handler wires it onto the dedicated telemetry
+// listener only.
+func RegisterDebugRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)

@@ -112,8 +112,53 @@ func TestPlaneRoutes(t *testing.T) {
 		t.Errorf("/healthz = %q", body)
 	}
 
+	// pprof rides the dedicated listener's Handler only.
 	if _, ct := get(t, srv, "/debug/pprof/cmdline"); ct == "" {
-		t.Error("pprof route not mounted")
+		t.Error("pprof route not mounted on the dedicated handler")
+	}
+}
+
+// RegisterRoutes is what damaris-gate folds into its client-facing API mux;
+// it must expose the metrics/trace/jitter routes but never pprof (profiles
+// leak process internals and /debug/pprof/profile blocks for seconds=N — a
+// free DoS on a serving endpoint).
+func TestRegisterRoutesExcludesPprof(t *testing.T) {
+	p := planeWithSpans(t)
+	mux := http.NewServeMux()
+	RegisterRoutes(mux, p)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if body, _ := get(t, srv, "/metrics"); !strings.Contains(body, "damaris_test_total") {
+		t.Error("/metrics not served through RegisterRoutes")
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/profile"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s through RegisterRoutes = %s, want 404", path, resp.Status)
+		}
+	}
+}
+
+// When the ring has overwritten older spans, the jitter document must say
+// so: percentiles cover the retained tail, Total carries the lifetime count.
+func TestJitterReportTruncation(t *testing.T) {
+	p := NewPlane(16)
+	tr := p.Tracer()
+	for i := 0; i < 40; i++ {
+		tr.Record(StagePersist, 0, int64(i), time.Unix(0, 0), time.Duration(i+1)*time.Millisecond, 0, false)
+	}
+	rep := p.JitterReport()
+	if len(rep) != 1 {
+		t.Fatalf("jitter has %d stages, want 1: %+v", len(rep), rep)
+	}
+	j := rep[0]
+	if j.Count != 16 || j.Total != 40 || !j.Truncated {
+		t.Fatalf("truncated jitter = %+v, want count=16 total=40 truncated", j)
 	}
 }
 
@@ -134,6 +179,9 @@ func TestJitterReport(t *testing.T) {
 	}
 	if persist.Count != 2 || persist.Min != 0.002 || persist.Max != 0.004 {
 		t.Fatalf("persist jitter %+v", *persist)
+	}
+	if persist.Total != 2 || persist.Truncated {
+		t.Fatalf("untruncated ring reported %+v", *persist)
 	}
 	if persist.Spread != persist.Max-persist.Min {
 		t.Fatalf("spread %g != max-min", persist.Spread)

@@ -112,7 +112,11 @@ func (h *Histogram) Observe(x float64) {
 	i := sort.SearchFloat64s(h.bounds, x)
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	h.sum.Add(int64(x * sumScale))
+	// Round, don't truncate: truncation would contribute exactly 0 for
+	// every sub-resolution observation, biasing _sum low on fast stages.
+	// Rounding is still per-sample deterministic, so integer accumulation
+	// stays commutative and exposition bytes stay interleaving-independent.
+	h.sum.Add(int64(math.Round(x * sumScale)))
 	for {
 		cur := h.min.Load()
 		if x >= math.Float64frombits(uint64(cur)) {

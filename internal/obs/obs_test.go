@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"damaris/internal/stats"
 )
 
 func TestCounterGauge(t *testing.T) {
@@ -170,6 +172,45 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 	if n := strings.Count(out, "# TYPE h_seconds "); n != 1 {
 		t.Errorf("histogram family has %d TYPE lines, want 1", n)
+	}
+}
+
+func TestHistogramSumRounds(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.6e-6) // below the 1µs fixed-point resolution
+	}
+	if got, want := h.Sum(), 1000e-6; got != want {
+		t.Fatalf("sub-resolution sum = %g, want %g (truncation would give 0)", got, want)
+	}
+}
+
+func TestCheckExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("good_total").Inc()
+	r.Collect(func(e *Emitter) {
+		e.Summary("dur_epochs", stats.Summarize([]float64{1, 2, 3}))
+	})
+	if err := r.CheckExposition(); err != nil {
+		t.Fatalf("clean registry: %v", err)
+	}
+	// A gauge named like the summary's auto-emitted _max companion is the
+	// collision class that once broke the aggregate families: same name,
+	// same labels, two values.
+	r.Gauge("dur_epochs_max").Set(9)
+	if err := r.CheckExposition(); err == nil {
+		t.Fatal("colliding _max gauge not detected")
+	}
+
+	// With disjoint labels there is no duplicate sample, but the gauge's
+	// own TYPE block splits the summary family in two.
+	r2 := NewRegistry()
+	r2.Collect(func(e *Emitter) {
+		e.Summary("dur_epochs", stats.Summarize([]float64{1}), "mode", "node")
+		e.Gauge("dur_epochs_max", 9, "shard", "0")
+	})
+	if err := r2.CheckExposition(); err == nil {
+		t.Fatal("split TYPE block not detected")
 	}
 }
 

@@ -231,7 +231,10 @@ func (t *Tracer) StageHistogram(stage Stage) *Histogram {
 }
 
 // StageSummary computes exact descriptive statistics (incl. percentiles)
-// over the retained spans of one stage. This is the function both the live
+// over the retained spans of one stage — only the retained ones: once the
+// ring wraps, the summary describes the most recent tail, which is why
+// JitterReport pairs it with the lifetime count (Total/Truncated) from the
+// never-truncating stage histogram. This is the function both the live
 // /jitter scrape and damaris-run's end-of-run jitter report call — one
 // code path, so the two always agree.
 func (t *Tracer) StageSummary(stage Stage) stats.Summary {
