@@ -1,0 +1,539 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"damaris/internal/cm1"
+	"damaris/internal/config"
+	"damaris/internal/core"
+	"damaris/internal/mpi"
+	"damaris/internal/obs"
+	"damaris/internal/store"
+)
+
+// obsFederation is the pure-merge half of the fleet gates: Federate over a
+// fixed source set must be cheap (bounded allocs per output sample), byte
+// deterministic under shuffled source order, and exposition-clean.
+type obsFederation struct {
+	Sources              int     `json:"sources"`
+	Samples              int     `json:"samples"`
+	MergeAllocsPerOp     float64 `json:"merge_allocs_per_op"`
+	MergeAllocsPerSample float64 `json:"merge_allocs_per_sample"`
+	AllocsPerSampleBound float64 `json:"allocs_per_sample_bound"`
+	OrderStable          bool    `json:"order_stable"`
+	CheckClean           bool    `json:"check_clean"`
+}
+
+// obsFleet is the live aggregated-run half: a two-node mode="node" run whose
+// shared plane serves /fleet/metrics, /epochs and /readyz while per-rank
+// registries federate in-process.
+type obsFleet struct {
+	Epochs         int  `json:"epochs"`
+	FleetBytes     int  `json:"fleet_bytes"`
+	OrderStable    bool `json:"order_stable"`
+	CheckClean     bool `json:"check_clean"`
+	CounterSamples int  `json:"counter_samples"`
+	CountersSummed bool `json:"counters_summed"`
+	EpochsComplete bool `json:"epochs_complete"`
+	ForwardSpans   int  `json:"forward_spans"`
+	FanAckSpans    int  `json:"fanack_spans"`
+	CrossRankOrig  bool `json:"cross_rank_origins"`
+	Ready          bool `json:"ready_after_quiesce"`
+}
+
+// obsBrownout is the critical-path attribution gate: a mode="core" run with
+// one node's object commits browned out; /epochs must blame the persist
+// stage and a dedicated core of the browned node for every epoch.
+type obsBrownout struct {
+	Epochs          int            `json:"epochs"`
+	BrownedServers  []int          `json:"browned_servers"`
+	DominantStages  map[string]int `json:"dominant_stages"`
+	SlowestOrigins  map[string]int `json:"slowest_origins"`
+	PersistDominant bool           `json:"persist_dominant"`
+	SlowestBrowned  bool           `json:"slowest_on_browned"`
+}
+
+// federationAllocsPerSampleBound bounds the merge path. Federate is a
+// per-scrape string-keyed fold over every input sample (label keys, fold
+// map, per-rank label copies), so the budget is per output sample and well
+// above zero — ~17 measured; the gate catches the merge going accidentally
+// quadratic or per-byte, not a missing fast path. The record paths stay
+// 0-alloc; only rendering pays this.
+const federationAllocsPerSampleBound = 24.0
+
+// Fleet-run topology: two nodes of (1 client + 1 dedicated core), cross-node
+// aggregation. Servers are world ranks 1 and 3; the lowest node's leader
+// (rank 1) hosts the global tier.
+const (
+	fleetRanks     = 4
+	fleetCoresPer  = 2
+	fleetSteps     = 8
+	fleetGlobal    = 1
+	fleetForwarder = 3
+)
+
+// Brownout-run topology: two nodes of (2 clients + 2 dedicated cores),
+// core-mode aggregation — each node's leader (ranks 2 and 6) commits one
+// node%04d object per epoch. Node 1's commits are delayed, so its dedicated
+// cores (6, 7) must surface as the critical path.
+const (
+	brownRanks    = 8
+	brownCoresPer = 4
+	brownSteps    = 6
+	// Large enough that scheduler jitter (worker pickup latency under the
+	// race detector on a loaded box can reach tens of ms) cannot rival the
+	// injected delay in any epoch's stage totals.
+	brownDelay = 150 * time.Millisecond
+)
+
+var brownedServers = []int{6, 7}
+
+// fedBenchSources builds a deterministic multi-rank source set exercising
+// every merge op: shared and disjoint counters, per-rank gauges, a shared
+// histogram, so the alloc figure covers sum, min/max rollup and per-rank
+// labeling paths.
+func fedBenchSources(ranks int) []obs.FedSource {
+	out := make([]obs.FedSource, ranks)
+	for r := 0; r < ranks; r++ {
+		reg := obs.NewRegistry()
+		reg.Counter("fleet_bench_events_total").Add(int64(100 * (r + 1)))
+		reg.Counter("fleet_bench_rank_total", "server", fmt.Sprint(r)).Add(int64(r + 1))
+		reg.Gauge("fleet_bench_depth").Set(int64(r + 3))
+		h := reg.Histogram("fleet_bench_seconds", obs.DefaultDurationBuckets())
+		for i := 0; i < 100; i++ {
+			h.Observe(1e-5 * float64(1+(i*7+r)%200))
+		}
+		out[r] = obs.FedSource{Rank: fmt.Sprint(r), Samples: reg.Gather()}
+	}
+	return out
+}
+
+// benchFederation measures and checks the pure merge. measureAllocs is off
+// under the race detector, whose instrumentation would inflate the figure.
+func benchFederation(measureAllocs bool) obsFederation {
+	const ranks = 6
+	sources := fedBenchSources(ranks)
+	merged := obs.Federate(sources)
+	fd := obsFederation{
+		Sources:              ranks,
+		Samples:              len(merged),
+		AllocsPerSampleBound: federationAllocsPerSampleBound,
+		CheckClean:           obs.CheckSamples(merged) == nil,
+	}
+	if measureAllocs && len(merged) > 0 {
+		fd.MergeAllocsPerOp = testing.AllocsPerRun(200, func() {
+			obs.Federate(sources)
+		})
+		fd.MergeAllocsPerSample = fd.MergeAllocsPerOp / float64(len(merged))
+	}
+
+	// Byte determinism under shuffled scrape arrival: render the canonical
+	// order against a handful of deterministic permutations.
+	var canon bytes.Buffer
+	if err := obs.WriteSamples(&canon, merged); err != nil {
+		return fd
+	}
+	fd.OrderStable = true
+	perm := append([]obs.FedSource(nil), sources...)
+	for trial := 0; trial < 5; trial++ {
+		for i := range perm {
+			j := (i*(trial+3) + trial) % len(perm)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteSamples(&buf, obs.Federate(perm)); err != nil ||
+			!bytes.Equal(buf.Bytes(), canon.Bytes()) {
+			fd.OrderStable = false
+		}
+	}
+	return fd
+}
+
+// gateFederation turns a failed merge figure into an error.
+func gateFederation(fd obsFederation, outPath string) error {
+	if fd.MergeAllocsPerSample > fd.AllocsPerSampleBound {
+		return fmt.Errorf("federation merge allocates %.2f/sample, bound %.1f (see %s)",
+			fd.MergeAllocsPerSample, fd.AllocsPerSampleBound, outPath)
+	}
+	if !fd.OrderStable {
+		return fmt.Errorf("federated exposition bytes depend on source order (see %s)", outPath)
+	}
+	if !fd.CheckClean {
+		return fmt.Errorf("federated sample set fails exposition lint (see %s)", outPath)
+	}
+	return nil
+}
+
+// runObsFleet executes the two-node aggregated run and scrapes its fleet
+// view: per-rank registries federate in-process on the shared plane, and the
+// gates below hold the merged exposition to the per-rank scrapes.
+func runObsFleet() (obsFleet, error) {
+	var fl obsFleet
+	plane := obs.NewPlane(1 << 16)
+	fleet := obs.NewFederator()
+	plane.SetFederator(fleet)
+
+	backendDir, err := os.MkdirTemp("", "damaris-fleet-store")
+	if err != nil {
+		return fl, err
+	}
+	defer os.RemoveAll(backendDir)
+	backend, err := store.NewObjStore(backendDir, store.Options{})
+	if err != nil {
+		return fl, err
+	}
+	defer backend.Close()
+
+	clients := fleetRanks - fleetRanks/fleetCoresPer
+	params := cm1.DefaultParams(clients, 1)
+	cfg, err := config.ParseString(cm1.ConfigXML(params, 32<<20, "mutex", 1))
+	if err != nil {
+		return fl, err
+	}
+	cfg.AggregateMode = "node"
+	cfg.PersistWorkers = 1
+	cfg.PersistQueueDepth = 2
+	if err := cfg.Validate(); err != nil {
+		return fl, err
+	}
+
+	rankRegs := map[int]*obs.Registry{}
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	err = mpi.Run(fleetRanks, fleetCoresPer, func(comm *mpi.Comm) {
+		me := comm.Rank()
+		pers := &core.DSFPersister{Backend: backend, Node: me / fleetCoresPer, ServerID: me}
+		pers.SetTracer(plane.Tracer())
+		dep, err := core.Deploy(comm, cfg, nil, core.Options{Persister: pers, Obs: plane})
+		if err != nil {
+			fail(err)
+			return
+		}
+		if !dep.IsClient() {
+			reg := obs.NewRegistry()
+			dep.Server.RegisterObs(reg)
+			mu.Lock()
+			rankRegs[me] = reg
+			mu.Unlock()
+			fleet.AddRegistry(fmt.Sprint(me), reg)
+			if err := dep.Server.Run(); err != nil {
+				fail(err)
+			}
+			return
+		}
+		sim, err := cm1.New(dep.ClientComm, params)
+		if err != nil {
+			fail(err)
+			return
+		}
+		b := cm1.NewDamarisBackend(dep.Client)
+		if _, err := cm1.Run(sim, b, fleetSteps, 1); err != nil {
+			fail(err)
+		}
+		if err := b.Close(); err != nil {
+			fail(err)
+		}
+	})
+	if err != nil {
+		return fl, err
+	}
+	if firstErr != nil {
+		return fl, firstErr
+	}
+	fl.Epochs = fleetSteps
+
+	srv := httptest.NewServer(plane.Handler())
+	defer srv.Close()
+
+	fleetProm, err := fetch(srv.URL, "/fleet/metrics")
+	if err != nil {
+		return fl, err
+	}
+	fl.FleetBytes = len(fleetProm)
+	fl.CheckClean = obs.CheckSamples(fleet.Gather()) == nil
+
+	// A second federator over the same quiesced registries, sources added in
+	// the opposite order: the rendering must not care which scrape arrived
+	// first.
+	serverRanks := make([]int, 0, len(rankRegs))
+	for r := range rankRegs {
+		serverRanks = append(serverRanks, r)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(serverRanks)))
+	rev := obs.NewFederator()
+	for _, r := range serverRanks {
+		rev.AddRegistry(fmt.Sprint(r), rankRegs[r])
+	}
+	var revBuf bytes.Buffer
+	if err := rev.WritePrometheus(&revBuf); err != nil {
+		return fl, err
+	}
+	fl.OrderStable = bytes.Equal(revBuf.Bytes(), fleetProm)
+
+	// Fleet counters must equal the sum of the per-rank scrapes byte for
+	// byte (formatted the way the exposition formats them).
+	body, err := fetch(srv.URL, "/fleet/metrics.json")
+	if err != nil {
+		return fl, err
+	}
+	var fleetDoc obs.MetricsDoc
+	if err := json.Unmarshal(body, &fleetDoc); err != nil {
+		return fl, fmt.Errorf("fleet JSON: %w", err)
+	}
+	rankDocs := make([][]obs.MetricJSON, 0, len(rankRegs))
+	for _, reg := range rankRegs {
+		rankDocs = append(rankDocs, reg.GatherJSON())
+	}
+	fl.CountersSummed = true
+	for _, m := range fleetDoc.Metrics {
+		if m.Kind != "counter" {
+			continue
+		}
+		fl.CounterSamples++
+		var sum float64
+		for _, doc := range rankDocs {
+			for _, rm := range doc {
+				if rm.Name == m.Name && reflect.DeepEqual(rm.Labels, m.Labels) {
+					sum += rm.Value
+				}
+			}
+		}
+		if strconv.FormatFloat(sum, 'g', -1, 64) != strconv.FormatFloat(m.Value, 'g', -1, 64) {
+			fl.CountersSummed = false
+		}
+	}
+
+	// /epochs names a dominant stage and a slowest origin for every epoch.
+	body, err = fetch(srv.URL, "/epochs")
+	if err != nil {
+		return fl, err
+	}
+	var reports []obs.EpochReport
+	if err := json.Unmarshal(body, &reports); err != nil {
+		return fl, fmt.Errorf("epochs JSON: %w", err)
+	}
+	seen := map[int64]bool{}
+	fl.EpochsComplete = true
+	for _, r := range reports {
+		if r.DominantStage == "" || r.SlowestOrigin < 0 {
+			fl.EpochsComplete = false
+		}
+		seen[r.Epoch] = true
+	}
+	for e := int64(0); e < fleetSteps; e++ {
+		if !seen[e] {
+			fl.EpochsComplete = false
+		}
+	}
+
+	// Cross-rank wire legs: one forward per remote leader per epoch on the
+	// global host, one fanack back on the forwarder.
+	fl.CrossRankOrig = true
+	for _, sp := range plane.Tracer().Snapshot() {
+		switch sp.Stage {
+		case obs.StageForward:
+			fl.ForwardSpans++
+			if sp.Server != fleetGlobal || sp.Origin != fleetForwarder {
+				fl.CrossRankOrig = false
+			}
+		case obs.StageFanAck:
+			fl.FanAckSpans++
+			if sp.Server != fleetForwarder || sp.Origin != fleetGlobal {
+				fl.CrossRankOrig = false
+			}
+		}
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		return fl, err
+	}
+	resp.Body.Close()
+	fl.Ready = resp.StatusCode == 200
+	return fl, nil
+}
+
+// gateFleet turns a failed fleet-run figure into an error.
+func gateFleet(fl obsFleet, outPath string) error {
+	if !fl.OrderStable {
+		return fmt.Errorf("fleet exposition bytes depend on scrape order (see %s)", outPath)
+	}
+	if !fl.CheckClean {
+		return fmt.Errorf("fleet exposition fails lint (see %s)", outPath)
+	}
+	if !fl.CountersSummed || fl.CounterSamples == 0 {
+		return fmt.Errorf("fleet counters disagree with the sum of per-rank scrapes (%d counter samples, see %s)",
+			fl.CounterSamples, outPath)
+	}
+	if !fl.EpochsComplete {
+		return fmt.Errorf("/epochs is missing a committed epoch or leaves one unattributed (see %s)", outPath)
+	}
+	if fl.ForwardSpans != fleetSteps || fl.FanAckSpans != fleetSteps || !fl.CrossRankOrig {
+		return fmt.Errorf("wire trace legs wrong: %d forward, %d fanack spans for %d epochs, origins ok=%v (see %s)",
+			fl.ForwardSpans, fl.FanAckSpans, fleetSteps, fl.CrossRankOrig, outPath)
+	}
+	if !fl.Ready {
+		return fmt.Errorf("/readyz not 200 after the run quiesced (see %s)", outPath)
+	}
+	return nil
+}
+
+// runObsBrownout executes the core-mode run with node 1's object commits
+// delayed and asks the epoch analyzer who is slow. The delay rides the
+// commit hook of node0001_* objects only, so the answer is deterministic:
+// the persist stage, on node 1's dedicated cores.
+func runObsBrownout() (obsBrownout, error) {
+	br := obsBrownout{
+		BrownedServers: brownedServers,
+		DominantStages: map[string]int{},
+		SlowestOrigins: map[string]int{},
+	}
+	plane := obs.NewPlane(1 << 16)
+
+	backendDir, err := os.MkdirTemp("", "damaris-brownout-store")
+	if err != nil {
+		return br, err
+	}
+	defer os.RemoveAll(backendDir)
+	fault := store.FaultFunc(func(op, name string) error {
+		if op == store.OpCommit && strings.HasPrefix(name, "node0001") {
+			time.Sleep(brownDelay)
+		}
+		return nil
+	})
+	backend, err := store.NewObjStore(backendDir, store.Options{Fault: fault})
+	if err != nil {
+		return br, err
+	}
+	defer backend.Close()
+
+	clients := brownRanks - 2*(brownRanks/brownCoresPer)
+	params := cm1.DefaultParams(clients, 1)
+	cfg, err := config.ParseString(cm1.ConfigXML(params, 32<<20, "mutex", 2))
+	if err != nil {
+		return br, err
+	}
+	cfg.AggregateMode = "core"
+	cfg.PersistWorkers = 1
+	// Depth 1 keeps the flow window at one iteration: with a deeper queue
+	// the commit delay shows up as queue wait on the *next* epoch and the
+	// attribution smears across stages; at depth 1 every browned epoch's
+	// time sits squarely in persist.
+	cfg.PersistQueueDepth = 1
+	if err := cfg.Validate(); err != nil {
+		return br, err
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	err = mpi.Run(brownRanks, brownCoresPer, func(comm *mpi.Comm) {
+		me := comm.Rank()
+		pers := &core.DSFPersister{Backend: backend, Node: me / brownCoresPer, ServerID: me}
+		pers.SetTracer(plane.Tracer())
+		dep, err := core.Deploy(comm, cfg, nil, core.Options{Persister: pers, Obs: plane})
+		if err != nil {
+			fail(err)
+			return
+		}
+		if !dep.IsClient() {
+			if err := dep.Server.Run(); err != nil {
+				fail(err)
+			}
+			return
+		}
+		sim, err := cm1.New(dep.ClientComm, params)
+		if err != nil {
+			fail(err)
+			return
+		}
+		b := cm1.NewDamarisBackend(dep.Client)
+		// Drive write phases by hand with a compute phase longer than the
+		// injected commit delay: iteration N+1 then never queues behind
+		// N's browned commit, so each epoch's delay lands in its own
+		// persist stage instead of smearing into the next epoch's queue
+		// wait — the attribution the gate checks must be deterministic.
+		// The barrier keeps the clients in lockstep: the write-stage span
+		// measures first-write-arrival to iteration-complete, and without
+		// it the sleeps drift apart until client skew rivals brownDelay.
+		for it := int64(0); it < brownSteps; it++ {
+			sim.Step()
+			time.Sleep(2 * brownDelay)
+			dep.ClientComm.Barrier()
+			if err := b.WritePhase(sim, it); err != nil {
+				fail(err)
+				break
+			}
+		}
+		if err := b.Close(); err != nil {
+			fail(err)
+		}
+	})
+	if err != nil {
+		return br, err
+	}
+	if firstErr != nil {
+		return br, firstErr
+	}
+
+	reports := obs.AnalyzeEpochs(plane.Tracer().Snapshot())
+	br.Epochs = len(reports)
+	browned := map[int]bool{}
+	for _, r := range brownedServers {
+		browned[r] = true
+	}
+	br.PersistDominant = len(reports) > 0
+	br.SlowestBrowned = len(reports) > 0
+	for _, r := range reports {
+		br.DominantStages[r.DominantStage]++
+		br.SlowestOrigins[strconv.Itoa(r.SlowestOrigin)]++
+		if r.DominantStage != "persist" {
+			br.PersistDominant = false
+		}
+		if !browned[r.SlowestOrigin] {
+			br.SlowestBrowned = false
+		}
+	}
+	return br, nil
+}
+
+// gateBrownout turns a failed attribution into an error.
+func gateBrownout(br obsBrownout, outPath string) error {
+	if br.Epochs < brownSteps {
+		return fmt.Errorf("brownout run reconstructed %d epochs, want >= %d (see %s)",
+			br.Epochs, brownSteps, outPath)
+	}
+	if !br.PersistDominant {
+		return fmt.Errorf("brownout epochs not attributed to persist: dominants %v (see %s)",
+			br.DominantStages, outPath)
+	}
+	if !br.SlowestBrowned {
+		return fmt.Errorf("slowest origin not on the browned node: origins %v, browned %v (see %s)",
+			br.SlowestOrigins, br.BrownedServers, outPath)
+	}
+	return nil
+}

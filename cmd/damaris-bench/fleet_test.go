@@ -1,0 +1,46 @@
+package main
+
+// The fleet-observability gates run under `go test -race` here as well as
+// via `damaris-bench -obs-bench`: the live runs exercise the cross-rank
+// trace propagation and in-process federation with the race detector on,
+// which is where a torn merge or unsynchronized registry would surface.
+
+import "testing"
+
+func TestFederationGates(t *testing.T) {
+	// Alloc measurement is skipped: race instrumentation inflates it; the
+	// -obs-bench binary owns that figure.
+	fd := benchFederation(false)
+	if err := gateFederation(fd, "(test)"); err != nil {
+		t.Fatal(err)
+	}
+	if fd.Samples == 0 || fd.Sources == 0 {
+		t.Fatalf("federation bench merged nothing: %+v", fd)
+	}
+}
+
+func TestFleetLiveGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live aggregated run")
+	}
+	fl, err := runObsFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gateFleet(fl, "(test)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrownoutAttributionGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live browned-out run")
+	}
+	br, err := runObsBrownout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gateBrownout(br, "(test)"); err != nil {
+		t.Fatal(err)
+	}
+}

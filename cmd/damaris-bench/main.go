@@ -21,8 +21,12 @@
 //	                               # BENCH_resilience.json
 //	damaris-bench -obs-bench       # run the telemetry-plane gates (0-alloc
 //	                               # observe paths, byte-stable exposition,
-//	                               # live scraped brownout run) and emit
-//	                               # BENCH_obs.json
+//	                               # live scraped brownout run) plus the
+//	                               # fleet gates (federation merge allocs and
+//	                               # scrape-order byte identity, live two-node
+//	                               # /fleet/metrics counter-sum check, epoch
+//	                               # critical-path attribution of a browned-
+//	                               # out persist stage) and emit BENCH_obs.json
 package main
 
 import (
@@ -58,7 +62,7 @@ func main() {
 			"run the overload-resilience gates (spill under brownout with byte-identity and bounded stall, hedged puts over a hung primary) and emit a JSON report")
 		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "output path for -resilience-bench")
 		obsBench      = flag.Bool("obs-bench", false,
-			"run the telemetry-plane gates (0-alloc observe paths, byte-stable exposition, bounded tracing overhead, live scraped brownout run) and emit a JSON report")
+			"run the telemetry-plane and fleet gates (0-alloc observe paths, byte-stable exposition, federation merge determinism, live /fleet/metrics counter-sum and epoch critical-path attribution runs) and emit a JSON report")
 		obsOut = flag.String("obs-out", "BENCH_obs.json", "output path for -obs-bench")
 	)
 	flag.Parse()

@@ -65,6 +65,9 @@ type obsReport struct {
 	ExpositionBytes  int                `json:"exposition_bytes"`
 	Persist          obsPersistOverhead `json:"persist_overhead"`
 	Live             obsLive            `json:"live"`
+	Federation       obsFederation      `json:"federation"`
+	Fleet            obsFleet           `json:"fleet"`
+	Brownout         obsBrownout        `json:"brownout_attribution"`
 }
 
 // persistAllocRatioBound bounds the tracing-on persist allocation overhead.
@@ -313,7 +316,12 @@ func runObsLive() (obsLive, error) {
 // BENCH_obs.json: 0-alloc observe paths, byte-stable exposition under
 // concurrency, bounded persist-path tracing overhead, and a live scraped
 // brownout run whose spill/degraded activity and jitter figures are visible
-// (and exact) over HTTP.
+// (and exact) over HTTP. The fleet half follows: federation merge allocs
+// and scrape-order byte identity, a live two-node aggregated run whose
+// /fleet/metrics counters must equal the sum of the per-rank scrapes with
+// complete /epochs attribution and both wire trace legs present, and a
+// browned-out run the epoch analyzer must pin on the persist stage of the
+// browned node's dedicated cores.
 func runObsBench(outPath string) error {
 	allocs := benchObsAllocs()
 	fmt.Printf("observe allocs/op: counter=%.1f gauge=%.1f histogram=%.1f record=%.1f\n",
@@ -339,12 +347,35 @@ func runObsBench(outPath string) error {
 		live.Spilled, live.DegradedDecisions, live.JSONMetrics, live.TraceSpans,
 		live.SpillSpans, live.PersistSpans, live.ChromeEvents, live.JitterStages, live.JitterExact)
 
+	fed := benchFederation(true)
+	fmt.Printf("federation: %d sources -> %d samples, %.2f allocs/sample (bound %.1f), order-stable=%v lint-clean=%v\n",
+		fed.Sources, fed.Samples, fed.MergeAllocsPerSample, fed.AllocsPerSampleBound,
+		fed.OrderStable, fed.CheckClean)
+
+	fleet, err := runObsFleet()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d epochs, %d fleet bytes (order-stable=%v), %d counters summed=%v, epochs-complete=%v, %d forward/%d fanack spans, ready=%v\n",
+		fleet.Epochs, fleet.FleetBytes, fleet.OrderStable, fleet.CounterSamples,
+		fleet.CountersSummed, fleet.EpochsComplete, fleet.ForwardSpans, fleet.FanAckSpans, fleet.Ready)
+
+	brown, err := runObsBrownout()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("brownout attribution: %d epochs, dominants=%v, slowest=%v (browned servers %v)\n",
+		brown.Epochs, brown.DominantStages, brown.SlowestOrigins, brown.BrownedServers)
+
 	rep := obsReport{
 		Allocs:           allocs,
 		ExpositionStable: stable,
 		ExpositionBytes:  nbytes,
 		Persist:          persist,
 		Live:             live,
+		Federation:       fed,
+		Fleet:            fleet,
+		Brownout:         brown,
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -389,5 +420,11 @@ func runObsBench(outPath string) error {
 	if !live.JitterExact || live.JitterStages == 0 {
 		return fmt.Errorf("scraped /jitter does not match a direct JitterReport (see %s)", outPath)
 	}
-	return nil
+	if err := gateFederation(fed, outPath); err != nil {
+		return err
+	}
+	if err := gateFleet(fleet, outPath); err != nil {
+		return err
+	}
+	return gateBrownout(brown, outPath)
 }

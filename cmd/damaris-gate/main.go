@@ -38,6 +38,7 @@ func main() {
 		fetchers = flag.Int("fetch-workers", gateway.DefaultFetchWorkers, "bound on concurrent backend part fetches")
 		tocN     = flag.Int("toc-cache", gateway.DefaultTOCEntries, "bound on cached decoded manifests/TOCs")
 		statsDur = flag.Duration("stats-interval", 0, "print a stats line at this interval (0 = off)")
+		probe    = flag.String("ready-probe", "", "backend object /readyz must Stat successfully before reporting ready (empty = no backend probe)")
 	)
 	flag.Parse()
 	if *storeURL == "" {
@@ -52,9 +53,10 @@ func main() {
 	defer backend.Close()
 
 	// The telemetry plane folds into the gateway's own mux (no second
-	// listener): /metrics, /metrics.json, /v1/metrics and /jitter ride on
-	// -listen next to the data API. pprof does not — the gateway mux is
-	// client-facing, and profiling stays on damaris-run's dedicated
+	// listener): /metrics, /metrics.json, /v1/metrics, /jitter, /readyz and
+	// the federated /fleet/metrics (this replica merged with its -peers)
+	// ride on -listen next to the data API. pprof does not — the gateway
+	// mux is client-facing, and profiling stays on damaris-run's dedicated
 	// -metrics-addr listener.
 	cfg := gateway.Config{
 		Backend:        backend,
@@ -64,6 +66,7 @@ func main() {
 		Self:           *self,
 		Forward:        *forward,
 		Obs:            obs.NewPlane(0),
+		ReadyProbe:     *probe,
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {

@@ -111,8 +111,13 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	// One telemetry plane for the whole in-process world: every dedicated
 	// core records spans and registers collectors against it, so a single
 	// scrape (or the end-of-run report, which reads the same registry) covers
-	// the run.
+	// the run. The fleet federator merges rank-local registries — each
+	// dedicated core registers its collectors on a private registry too as
+	// it deploys — so /fleet/metrics shows the same figures rank by rank,
+	// exactly as a multi-process fleet would expose them.
 	plane := obs.NewPlane(traceRing)
+	fleet := obs.NewFederator()
+	plane.SetFederator(fleet)
 	if metricsAddr != "" {
 		ln, lerr := net.Listen("tcp", metricsAddr)
 		if lerr != nil {
@@ -121,7 +126,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		srv := &http.Server{Handler: plane.Handler()}
 		go srv.Serve(ln)
 		defer srv.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /metrics.json /trace /jitter /debug/pprof)\n", ln.Addr())
+		fmt.Printf("telemetry: http://%s/metrics (also /metrics.json /fleet/metrics /epochs /trace /jitter /readyz /debug/pprof)\n", ln.Addr())
 	}
 	computeRanks := ranks
 	if backend == "damaris" {
@@ -214,6 +219,12 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 				pool.SetTracer(plane.Tracer(), comm.Rank())
 				pers.SetEncodePool(pool)
 				defer pool.Close()
+				// This rank's slice of the fleet view: a private registry
+				// carrying only this dedicated core's collectors, merged by
+				// the federator behind /fleet/metrics.
+				rankReg := obs.NewRegistry()
+				dep.Server.RegisterObs(rankReg)
+				fleet.AddRegistry(fmt.Sprint(comm.Rank()), rankReg)
 				if err := dep.Server.Run(); err != nil {
 					panic(err)
 				}

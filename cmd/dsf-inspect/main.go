@@ -13,6 +13,7 @@
 //	dsf-inspect -store obj://dir -gc -gc-dry-run  # report only
 //	dsf-inspect -trace run.jsonl              # per-stage jitter summary of a lifecycle trace
 //	dsf-inspect -trace -trace-format chrome run.jsonl > run.trace  # chrome://tracing
+//	dsf-inspect -trace -trace-format epochs rank*.jsonl  # merge per-rank traces into per-epoch critical paths
 package main
 
 import (
@@ -38,7 +39,7 @@ func main() {
 		gcAge  = flag.Duration("gc-min-age", store.DefaultGCMinAge,
 			"with -gc, minimum age of unreferenced data before it may be reclaimed; in-flight uploads younger than this are retry seeds, not garbage (0 reclaims immediately — only safe when no writer can be live)")
 		trace    = flag.Bool("trace", false, "arguments are lifecycle-trace JSONL files (damaris-run -trace-out or GET /trace)")
-		traceFmt = flag.String("trace-format", "summary", "with -trace: summary | chrome | jsonl (chrome and jsonl write to stdout)")
+		traceFmt = flag.String("trace-format", "summary", "with -trace: summary | chrome | jsonl | epochs (chrome and jsonl write to stdout; epochs merges all files into one per-epoch critical-path view)")
 	)
 	flag.Parse()
 	if *st == "" && flag.NArg() == 0 {
@@ -47,6 +48,16 @@ func main() {
 	}
 	if *trace {
 		exit := 0
+		if *traceFmt == "epochs" {
+			// The epochs view is cross-file by design: each per-rank trace
+			// holds one rank's slice of every epoch, and only their merge
+			// shows the fleet-wide critical path.
+			if err := inspectTraceEpochs(flag.Args()); err != nil {
+				fmt.Fprintf(os.Stderr, "dsf-inspect: %v\n", err)
+				exit = 1
+			}
+			os.Exit(exit)
+		}
 		for _, path := range flag.Args() {
 			if err := inspectTrace(path, *traceFmt); err != nil {
 				fmt.Fprintf(os.Stderr, "dsf-inspect: %s: %v\n", path, err)

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"damaris/internal/obs"
@@ -32,8 +33,50 @@ func inspectTrace(path, format string) error {
 		printTraceSummary(path, spans)
 		return nil
 	default:
-		return fmt.Errorf("unknown -trace-format %q (want summary | chrome | jsonl)", format)
+		return fmt.Errorf("unknown -trace-format %q (want summary | chrome | jsonl | epochs)", format)
 	}
+}
+
+// inspectTraceEpochs merges the spans of every given per-rank trace file
+// and prints the per-epoch critical-path reconstruction — the offline twin
+// of the live /epochs route, for fleets whose ranks each dumped their own
+// -trace-out file.
+func inspectTraceEpochs(paths []string) error {
+	var spans []obs.Span
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		ss, err := obs.ReadSpansJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		spans = append(spans, ss...)
+	}
+	// Same deterministic order Tracer.Snapshot produces, so the offline
+	// analysis of N files equals the live analysis of one merged ring.
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	reports := obs.AnalyzeEpochs(spans)
+	fmt.Printf("%d spans across %d files, %d epochs\n", len(spans), len(paths), len(reports))
+	for _, r := range reports {
+		fmt.Printf("epoch %-6d spans=%-5d wall=%-9.3gs dominant=%-8s (%.3gs total) slowest-origin=%d (%.3gs)",
+			r.Epoch, r.Spans, r.WallSeconds, r.DominantStage, r.DominantSeconds,
+			r.SlowestOrigin, r.SlowestSeconds)
+		if r.Err {
+			fmt.Print(" ERR")
+		}
+		if len(r.Stragglers) > 0 {
+			fmt.Printf(" stragglers=%v", r.Stragglers)
+		}
+		fmt.Println()
+		for _, st := range r.Stages {
+			fmt.Printf("  %-8s n=%-5d total=%-9.3gs max=%-9.3gs slowest-origin=%d\n",
+				st.Stage, st.Count, st.TotalSeconds, st.MaxSeconds, st.SlowestOrigin)
+		}
+	}
+	return nil
 }
 
 // printTraceSummary prints per-stage descriptive statistics over the file's

@@ -8,10 +8,12 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"damaris/internal/layout"
 	"damaris/internal/metadata"
 	"damaris/internal/mpi"
+	"damaris/internal/obs"
 )
 
 // EpochWriter is the storage-facing seam the aggregator commits merged
@@ -103,18 +105,29 @@ type wireEntry struct {
 }
 
 // frame is one fan-in message from a node leader to the global aggregator:
-// either a merged epoch or the leader's done marker.
+// either a merged epoch or the leader's done marker. Origin and SentNS are
+// the trace context: the sending leader's world rank and its send
+// timestamp — the in-process MPI ranks share one wall clock, so the
+// receiver turns them directly into a `forward` transit span. A zero
+// SentNS (a sender without a tracer, or a pre-fleet frame) records no span.
 type frame struct {
 	Member  int
 	Epoch   int64
 	Done    bool
+	Origin  int
+	SentNS  int64
 	Entries []wireEntry
 }
 
 // ackFrame is the global aggregator's durability reply for one epoch.
+// Host/SentNS are the return-leg trace context: the global host's world
+// rank and its ack-send timestamp, from which the forwarding leader
+// records a `fanack` transit span.
 type ackFrame struct {
-	Epoch int64
-	Err   string
+	Epoch  int64
+	Err    string
+	Host   int
+	SentNS int64
 }
 
 // encodeFrame serializes a fan-in frame. The payload bytes are copied into
@@ -184,13 +197,23 @@ type Forwarder struct {
 	Dst      int
 	// Member is this node's member id (its node index).
 	Member int
+	// Tracer (optional) records the wire legs; Rank is this leader's world
+	// rank, stamped as trace origin on outgoing frames and used as the
+	// recording server of the `fanack` return-leg spans.
+	Tracer *obs.Tracer
+	Rank   int
 
 	forwarded atomic.Int64
 }
 
 // CommitEpoch forwards one merged epoch and waits for the global ack.
 func (f *Forwarder) CommitEpoch(epoch int64, _ []int, entries []*metadata.Entry) error {
-	b, err := encodeFrame(frame{Member: f.Member, Epoch: epoch, Entries: entriesToWire(entries)})
+	fr := frame{Member: f.Member, Epoch: epoch, Entries: entriesToWire(entries)}
+	if f.Tracer != nil {
+		fr.Origin = f.Rank
+		fr.SentNS = time.Now().UnixNano()
+	}
+	b, err := encodeFrame(fr)
 	if err != nil {
 		return err
 	}
@@ -201,6 +224,7 @@ func (f *Forwarder) CommitEpoch(epoch int64, _ []int, entries []*metadata.Entry)
 	if err := gob.NewDecoder(bytes.NewReader(ab)).Decode(&ack); err != nil {
 		return fmt.Errorf("aggregate: decode ack: %w", err)
 	}
+	recordTransit(f.Tracer, obs.StageFanAck, f.Rank, ack.Host, epoch, ack.SentNS, int64(len(ab)), ack.Err != "")
 	// Err before Epoch: a receiver abort acks with Epoch -1 and the root
 	// cause in Err, which must not be masked by the epoch mismatch.
 	if ack.Err != "" {
@@ -210,6 +234,23 @@ func (f *Forwarder) CommitEpoch(epoch int64, _ []int, entries []*metadata.Entry)
 		return fmt.Errorf("aggregate: ack for epoch %d, want %d", ack.Epoch, epoch)
 	}
 	return nil
+}
+
+// recordTransit turns a propagated send timestamp into a one-way wire span
+// on the receiving side: the span starts at the sender's clock and ends
+// now. Valid because the in-process MPI ranks share one wall clock; a
+// missing context (sentNS == 0) records nothing, and a small negative
+// wall-clock skew clamps to zero.
+func recordTransit(t *obs.Tracer, stage obs.Stage, server, origin int, epoch, sentNS, bytes int64, isErr bool) {
+	if t == nil || sentNS == 0 {
+		return
+	}
+	sent := time.Unix(0, sentNS)
+	dur := time.Since(sent)
+	if dur < 0 {
+		dur = 0
+	}
+	t.RecordFrom(stage, server, origin, epoch, sent, dur, bytes, isErr)
 }
 
 // Forwarded returns the number of epochs sent to the global tier.
@@ -240,6 +281,15 @@ func RunReceiver(fan, ack *mpi.Comm, sources map[int]int, global *Aggregator) er
 		active = append(active, src)
 	}
 	sort.Ints(active)
+	// stamp attaches the return-leg trace context (host rank, send time)
+	// to an outgoing ack when the host traces.
+	stamp := func(af ackFrame) ackFrame {
+		if global.cfg.Tracer != nil {
+			af.Host = global.cfg.TraceServer
+			af.SentNS = time.Now().UnixNano()
+		}
+		return af
+	}
 	// abort fails every still-active forwarder (error acks, so their
 	// CommitEpoch calls return instead of blocking forever on a reply that
 	// would never come) and declares their members done (so the global
@@ -247,7 +297,7 @@ func RunReceiver(fan, ack *mpi.Comm, sources map[int]int, global *Aggregator) er
 	// will never arrive), then surfaces the error.
 	abort := func(err error) error {
 		for _, src := range active {
-			sendAck(ack, src, ackFrame{Epoch: -1, Err: err.Error()})
+			sendAck(ack, src, stamp(ackFrame{Epoch: -1, Err: err.Error()}))
 			global.MemberDone(sources[src])
 		}
 		return err
@@ -262,7 +312,8 @@ func RunReceiver(fan, ack *mpi.Comm, sources map[int]int, global *Aggregator) er
 		var epoch int64
 		var remaining []int
 		for _, src := range active {
-			f, err := decodeFrame(fan.RecvBytes(src, tagFan))
+			raw := fan.RecvBytes(src, tagFan)
+			f, err := decodeFrame(raw)
 			if err != nil {
 				return abort(err)
 			}
@@ -270,6 +321,11 @@ func RunReceiver(fan, ack *mpi.Comm, sources map[int]int, global *Aggregator) er
 				global.MemberDone(sources[src])
 				continue
 			}
+			// One `forward` span per received epoch: the fan leg's transit
+			// from the sending leader (f.Origin) to this host, measured
+			// from the propagated send timestamp.
+			recordTransit(global.cfg.Tracer, obs.StageForward,
+				global.cfg.TraceServer, f.Origin, f.Epoch, f.SentNS, int64(len(raw)), false)
 			if len(subs) > 0 && f.Epoch != epoch {
 				return abort(fmt.Errorf("aggregate: node leaders diverged: epoch %d from rank %d, epoch %d expected",
 					f.Epoch, src, epoch))
@@ -292,7 +348,7 @@ func RunReceiver(fan, ack *mpi.Comm, sources map[int]int, global *Aggregator) er
 			if err != nil {
 				af.Err = err.Error()
 			}
-			sendAck(ack, s.src, af)
+			sendAck(ack, s.src, stamp(af))
 		}
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 
 	"damaris/internal/dsf"
 	"damaris/internal/mpi"
+	"damaris/internal/obs"
 )
 
 // The cross-node tier end to end on the message runtime: three "node
@@ -138,6 +139,125 @@ func TestCrossNodeForwardingRoundTrip(t *testing.T) {
 			}
 		}
 		r.Close()
+	}
+}
+
+// Cross-rank trace propagation over the fan-in wire: when the host and the
+// remote leaders share a tracer (one process, one wall clock), every
+// forwarded epoch leaves a `forward` span on the host carrying the sending
+// leader's rank as origin, and every ack leaves a `fanack` span on the
+// leader carrying the host's rank — the end-to-end legs the /epochs
+// analyzer attributes cross-node time with.
+func TestWireTracePropagation(t *testing.T) {
+	const nodes = 3
+	const epochs = 3
+	w := newMemEpochWriter()
+	tr := obs.NewTracer(256)
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	err := mpi.Run(nodes, 1, func(comm *mpi.Comm) {
+		fan := comm.Dup()
+		ack := comm.Dup()
+		me := comm.Rank()
+		if me == 0 {
+			global, err := New(Config{
+				Mode:    "node",
+				Members: []int{0, 1, 2},
+				Sink: &StoreSink{Writer: w,
+					ObjectName: func(e int64) string { return fmt.Sprintf("agg0000_it%06d.dsf", e) },
+					MemberAttr: "nodes", Mode: "node"},
+				Tracer:      tr,
+				TraceServer: 0,
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			recvErr := make(chan error, 1)
+			go func() { recvErr <- RunReceiver(fan, ack, map[int]int{1: 1, 2: 2}, global) }()
+			local := &LocalForward{Global: global, Member: 0}
+			for e := int64(0); e < epochs; e++ {
+				if err := local.CommitEpoch(e, nil, memberEntries(0, e)); err != nil {
+					fail(err)
+				}
+			}
+			if err := local.Close(); err != nil {
+				fail(err)
+			}
+			if err := <-recvErr; err != nil {
+				fail(err)
+			}
+			if err := global.Close(); err != nil {
+				fail(err)
+			}
+			return
+		}
+		fwd := &Forwarder{Fan: fan, Ack: ack, Dst: 0, Member: me, Tracer: tr, Rank: me}
+		for e := int64(0); e < epochs; e++ {
+			if err := fwd.CommitEpoch(e, nil, memberEntries(me, e)); err != nil {
+				fail(err)
+			}
+		}
+		if err := fwd.Close(); err != nil {
+			fail(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+
+	var forwards, fanacks int
+	originEpochs := map[int]map[int64]bool{}
+	for _, sp := range tr.Snapshot() {
+		switch sp.Stage {
+		case obs.StageForward:
+			forwards++
+			if sp.Server != 0 {
+				t.Errorf("forward span recorded on rank %d, want host 0", sp.Server)
+			}
+			if sp.Origin != 1 && sp.Origin != 2 {
+				t.Errorf("forward span origin = %d, want a remote leader", sp.Origin)
+			}
+			if sp.Bytes <= 0 || sp.Err || sp.Dur < 0 {
+				t.Errorf("forward span %+v", sp)
+			}
+			if originEpochs[sp.Origin] == nil {
+				originEpochs[sp.Origin] = map[int64]bool{}
+			}
+			originEpochs[sp.Origin][sp.Iteration] = true
+		case obs.StageFanAck:
+			fanacks++
+			if sp.Server != 1 && sp.Server != 2 {
+				t.Errorf("fanack span recorded on rank %d, want a remote leader", sp.Server)
+			}
+			if sp.Origin != 0 {
+				t.Errorf("fanack span origin = %d, want host 0", sp.Origin)
+			}
+		}
+	}
+	// One forward per remote leader per epoch; done markers record nothing.
+	if forwards != (nodes-1)*epochs {
+		t.Errorf("forward spans = %d, want %d", forwards, (nodes-1)*epochs)
+	}
+	if fanacks != (nodes-1)*epochs {
+		t.Errorf("fanack spans = %d, want %d", fanacks, (nodes-1)*epochs)
+	}
+	for origin := 1; origin < nodes; origin++ {
+		for e := int64(0); e < epochs; e++ {
+			if !originEpochs[origin][e] {
+				t.Errorf("no forward span for origin %d epoch %d", origin, e)
+			}
+		}
 	}
 }
 

@@ -248,7 +248,8 @@ func setupAggregation(nodeComm *mpi.Comm, leaderComm *mpi.Comm, cfg *config.Conf
 			}()
 			sink = &aggregate.LocalForward{Global: global, Member: nodeIdx}
 		} else {
-			sa.fwd = &aggregate.Forwarder{Fan: fan, Ack: ack, Dst: 0, Member: nodeIdx}
+			sa.fwd = &aggregate.Forwarder{Fan: fan, Ack: ack, Dst: 0, Member: nodeIdx,
+				Tracer: opts.Obs.Tracer(), Rank: worldRank}
 			sink = sa.fwd
 		}
 	default: // "core"

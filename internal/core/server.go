@@ -280,14 +280,43 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		return nil
 	}
 	if reg := opts.Obs.Registry(); reg != nil {
-		// Live scrapes read the exact snapshot functions the end-of-run
-		// report prints — the two can never disagree.
-		reg.Collect(func(e *obs.Emitter) {
-			s.PipelineStats().Emit(e, "server", fmt.Sprint(worldRank))
-			s.emitServer(e, "server", fmt.Sprint(worldRank))
+		s.RegisterObs(reg)
+	}
+	// Readiness, distinct from liveness: a server that is replaying a
+	// spill backlog or whose tuner is in degraded mode is alive but should
+	// not be considered ready (e.g. for admitting more load).
+	if sc := s.scratch; sc != nil {
+		opts.Obs.AddReadiness(fmt.Sprintf("server-%d-spill", worldRank), func() error {
+			if pending := sc.stats().Pending; pending > 0 {
+				return fmt.Errorf("spill backlog draining: %d iterations pending", pending)
+			}
+			return nil
+		})
+	}
+	if tn := s.tuner; tn != nil {
+		opts.Obs.AddReadiness(fmt.Sprintf("server-%d-control", worldRank), func() error {
+			if tn.Stats().Degraded {
+				return fmt.Errorf("control plane degraded")
+			}
+			return nil
 		})
 	}
 	return s, nil
+}
+
+// RegisterObs registers this server's live metric collectors on a registry.
+// Live scrapes read the exact snapshot functions the end-of-run report
+// prints — the two can never disagree. newServer calls it for the shared
+// plane; damaris-run calls it again with per-rank registries so the
+// federator can expose a rank-by-rank fleet view.
+func (s *Server) RegisterObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Collect(func(e *obs.Emitter) {
+		s.PipelineStats().Emit(e, "server", fmt.Sprint(s.id))
+		s.emitServer(e, "server", fmt.Sprint(s.id))
+	})
 }
 
 // ID returns the server's world rank.

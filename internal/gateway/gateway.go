@@ -76,11 +76,18 @@ type Config struct {
 	Forward bool
 
 	// Obs is the telemetry plane the gateway registers its stats on and
-	// serves over its mux (/metrics, /v1/metrics, /trace, /jitter — not
-	// pprof, which stays off the client-facing mux). Nil means the gateway
-	// builds a private plane, so the read plane always exposes the same
-	// metrics schema as the write plane.
+	// serves over its mux (/metrics, /v1/metrics, /trace, /jitter, /readyz
+	// — not pprof, which stays off the client-facing mux). Nil means the
+	// gateway builds a private plane, so the read plane always exposes the
+	// same metrics schema as the write plane.
 	Obs *obs.Plane
+
+	// ReadyProbe (optional) names a backend object /readyz must Stat
+	// successfully before this gateway reports ready — typically an object
+	// the writer is known to have committed. Any Stat error, including
+	// not-found, keeps the gateway not-ready: a gateway whose store is
+	// unreachable (or not yet populated) should not receive traffic.
+	ReadyProbe string
 }
 
 // Stats is a snapshot of one gateway's serving metrics, in the same style
@@ -236,6 +243,33 @@ func New(cfg Config) (*Gateway, error) {
 		g.Stats().Emit(e)
 		g.backend.Stats().Emit(e)
 	})
+	if probe := cfg.ReadyProbe; probe != "" {
+		g.obs.AddReadiness("backend", func() error {
+			if _, err := g.backend.Stat(probe); err != nil {
+				return fmt.Errorf("probe object %q: %w", probe, err)
+			}
+			return nil
+		})
+	}
+	// With a replica set configured, the fleet federator merges every
+	// replica's metrics behind /fleet/metrics: self is read in-process, the
+	// peers are scraped over their /metrics.json. A standalone gateway
+	// federates just itself, so the fleet routes always answer.
+	if plane := g.obs; plane.Federator() == nil {
+		fed := obs.NewFederator()
+		if len(cfg.Peers) > 1 {
+			for i, peer := range cfg.Peers {
+				if i == cfg.Self {
+					fed.AddRegistry(fmt.Sprint(i), plane.Registry())
+				} else {
+					fed.AddURL(fmt.Sprint(i), peer)
+				}
+			}
+		} else {
+			fed.AddRegistry(fmt.Sprint(cfg.Self), plane.Registry())
+		}
+		plane.SetFederator(fed)
+	}
 	return g, nil
 }
 

@@ -5,19 +5,32 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"damaris/internal/stats"
 )
 
 // Plane bundles the telemetry a process exposes: one metrics registry and
-// one lifecycle tracer, plus the HTTP exposition handler both damaris-run
-// (-metrics-addr) and damaris-gate (folded into its mux) serve. All
-// methods tolerate a nil receiver — subsystems wire telemetry
-// unconditionally and a nil plane means "observability off".
+// one lifecycle tracer — plus, optionally, a federator serving the fleet
+// view and readiness probes behind /readyz — and the HTTP exposition
+// handler both damaris-run (-metrics-addr) and damaris-gate (folded into
+// its mux) serve. All methods tolerate a nil receiver — subsystems wire
+// telemetry unconditionally and a nil plane means "observability off".
 type Plane struct {
 	reg   *Registry
 	trace *Tracer
+	fed   atomic.Pointer[Federator]
+
+	readyMu sync.Mutex
+	probes  []readyProbe
+}
+
+type readyProbe struct {
+	name  string
+	check func() error
 }
 
 // NewPlane builds a plane whose trace ring retains ringSlots spans
@@ -46,6 +59,65 @@ func (p *Plane) Tracer() *Tracer {
 		return nil
 	}
 	return p.trace
+}
+
+// SetFederator attaches the fleet federator served at /fleet/metrics and
+// /fleet/metrics.json. Nil-safe on both sides; without one, the fleet
+// routes answer 503.
+func (p *Plane) SetFederator(f *Federator) {
+	if p == nil {
+		return
+	}
+	p.fed.Store(f)
+}
+
+// Federator returns the attached fleet federator, or nil.
+func (p *Plane) Federator() *Federator {
+	if p == nil {
+		return nil
+	}
+	return p.fed.Load()
+}
+
+// AddReadiness registers a named readiness probe: /readyz reports
+// not-ready (503) with the probe's error while check returns one. Probes
+// run on every /readyz request, so they must be cheap snapshots —
+// "spill backlog draining", "control plane degraded", "backend probe
+// object unreachable". Nil-safe.
+func (p *Plane) AddReadiness(name string, check func() error) {
+	if p == nil || check == nil {
+		return
+	}
+	p.readyMu.Lock()
+	p.probes = append(p.probes, readyProbe{name: name, check: check})
+	p.readyMu.Unlock()
+}
+
+// ReadyReason is one failing readiness probe in the /readyz document.
+type ReadyReason struct {
+	Probe string `json:"probe"`
+	Err   string `json:"error"`
+}
+
+// Ready runs every registered probe and returns whether the process is
+// ready plus the failing probes' reasons, sorted by probe name (then
+// registration order) so the document is deterministic. A nil plane is
+// vacuously ready.
+func (p *Plane) Ready() (bool, []ReadyReason) {
+	if p == nil {
+		return true, nil
+	}
+	p.readyMu.Lock()
+	probes := append([]readyProbe(nil), p.probes...)
+	p.readyMu.Unlock()
+	var reasons []ReadyReason
+	for _, pr := range probes {
+		if err := pr.check(); err != nil {
+			reasons = append(reasons, ReadyReason{Probe: pr.name, Err: err.Error()})
+		}
+	}
+	sort.SliceStable(reasons, func(i, j int) bool { return reasons[i].Probe < reasons[j].Probe })
+	return len(reasons) == 0, reasons
 }
 
 // StageJitter is one stage's live jitter figures in the /jitter document —
@@ -112,10 +184,14 @@ func stageJitterOf(stage string, s stats.Summary) StageJitter {
 //	GET /v1/metrics         alias of /metrics.json (the gateway serves the
 //	                        same route over its registry — one schema for
 //	                        the read and write planes)
+//	GET /fleet/metrics      federated fleet view, Prometheus text
+//	GET /fleet/metrics.json federated fleet view, JSON (503 if no federator)
+//	GET /epochs             per-epoch critical-path reports (EpochReport)
 //	GET /trace              retained lifecycle spans, JSONL
 //	GET /trace?format=chrome  Chrome trace-event format (chrome://tracing)
 //	GET /jitter             per-stage live jitter percentiles + Spread
 //	GET /healthz            liveness
+//	GET /readyz             readiness (503 + failing probes while not ready)
 //	GET /debug/pprof/...    net/http/pprof behind the same listener
 //
 // Handler is for a dedicated, operator-facing telemetry listener
@@ -166,6 +242,49 @@ func RegisterRoutes(mux *http.ServeMux, p *Plane) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(report)
+	})
+	mux.HandleFunc("GET /epochs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reports := AnalyzeEpochs(p.Tracer().Snapshot())
+		if reports == nil {
+			reports = []EpochReport{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reports)
+	})
+	fleet := func(write func(*Federator, http.ResponseWriter) error, ctype string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			fed := p.Federator()
+			if fed == nil {
+				http.Error(w, "fleet federation not configured", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", ctype)
+			write(fed, w)
+		}
+	}
+	mux.HandleFunc("GET /fleet/metrics", fleet(func(f *Federator, w http.ResponseWriter) error {
+		return f.WritePrometheus(w)
+	}, "text/plain; version=0.0.4"))
+	mux.HandleFunc("GET /fleet/metrics.json", fleet(func(f *Federator, w http.ResponseWriter) error {
+		return f.WriteJSON(w)
+	}, "application/json"))
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reasons := p.Ready()
+		if reasons == nil {
+			reasons = []ReadyReason{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Ready   bool          `json:"ready"`
+			Reasons []ReadyReason `json:"reasons"`
+		}{Ready: ready, Reasons: reasons})
 	})
 }
 

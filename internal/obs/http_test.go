@@ -188,6 +188,149 @@ func TestJitterReport(t *testing.T) {
 	}
 }
 
+func TestReadyzRoute(t *testing.T) {
+	p := planeWithSpans(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	body, ct := get(t, srv, "/readyz")
+	if ct != "application/json" {
+		t.Errorf("/readyz content type %q", ct)
+	}
+	var doc struct {
+		Ready   bool          `json:"ready"`
+		Reasons []ReadyReason `json:"reasons,omitempty"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/readyz: %v", err)
+	}
+	if !doc.Ready || len(doc.Reasons) != 0 {
+		t.Fatalf("fresh plane not ready: %s", body)
+	}
+
+	// Two failing probes: 503, reasons sorted by probe name.
+	degraded := true
+	p.AddReadiness("z-spill", func() error {
+		if degraded {
+			return errNotReady("spill backlog draining")
+		}
+		return nil
+	})
+	p.AddReadiness("a-backend", func() error { return errNotReady("backend unreachable") })
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with failing probes = %s, want 503", resp.Status)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Ready || len(doc.Reasons) != 2 ||
+		doc.Reasons[0].Probe != "a-backend" || doc.Reasons[1].Probe != "z-spill" {
+		t.Fatalf("not-ready doc = %s", raw)
+	}
+
+	// A probe that recovers flips only its own reason off.
+	degraded = false
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Ready || len(doc.Reasons) != 1 || doc.Reasons[0].Probe != "a-backend" {
+		t.Fatalf("partially recovered doc = %s", raw)
+	}
+}
+
+type errNotReady string
+
+func (e errNotReady) Error() string { return string(e) }
+
+func TestEpochsRoute(t *testing.T) {
+	p := planeWithSpans(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	body, ct := get(t, srv, "/epochs")
+	if ct != "application/json" {
+		t.Errorf("/epochs content type %q", ct)
+	}
+	var reports []EpochReport
+	if err := json.Unmarshal([]byte(body), &reports); err != nil {
+		t.Fatalf("/epochs: %v", err)
+	}
+	want := AnalyzeEpochs(p.Tracer().Snapshot())
+	if !reflect.DeepEqual(reports, want) {
+		t.Errorf("/epochs = %+v, want %+v", reports, want)
+	}
+	if len(reports) == 0 {
+		t.Fatal("planeWithSpans produced no epochs")
+	}
+
+	// An empty ring serves the empty JSON array, not null.
+	empty := httptest.NewServer(NewPlane(16).Handler())
+	defer empty.Close()
+	if body, _ := get(t, empty, "/epochs"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("/epochs over empty ring = %q, want []", body)
+	}
+}
+
+func TestFleetRoutes(t *testing.T) {
+	p := planeWithSpans(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	// Without a federator the fleet routes refuse rather than serve a
+	// misleading single-rank document.
+	for _, path := range []string{"/fleet/metrics", "/fleet/metrics.json"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s without federator = %s, want 503", path, resp.Status)
+		}
+	}
+
+	fed := NewFederator()
+	fed.AddRegistry("0", p.Registry())
+	r1 := NewRegistry()
+	r1.Counter("damaris_test_total").Add(4)
+	fed.AddRegistry("1", r1)
+	p.SetFederator(fed)
+	if p.Federator() != fed {
+		t.Fatal("SetFederator did not take")
+	}
+
+	body, ct := get(t, srv, "/fleet/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/fleet/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "damaris_test_total 7") {
+		t.Errorf("/fleet/metrics did not sum ranks:\n%s", body)
+	}
+	jbody, ct := get(t, srv, "/fleet/metrics.json")
+	if ct != "application/json" {
+		t.Errorf("/fleet/metrics.json content type %q", ct)
+	}
+	var doc MetricsDoc
+	if err := json.Unmarshal([]byte(jbody), &doc); err != nil {
+		t.Fatalf("fleet JSON: %v", err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("fleet JSON is empty")
+	}
+}
+
 func TestNilPlaneSafe(t *testing.T) {
 	var p *Plane
 	if p.Registry() != nil || p.Tracer() != nil || p.JitterReport() != nil {
@@ -201,5 +344,17 @@ func TestNilPlaneSafe(t *testing.T) {
 	}
 	if body, _ := get(t, srv, "/jitter"); strings.TrimSpace(body) != "[]" {
 		t.Errorf("/jitter over nil plane = %q", body)
+	}
+	// The fleet-layer methods must be inert too.
+	p.SetFederator(NewFederator())
+	if p.Federator() != nil {
+		t.Fatal("nil plane holds a federator")
+	}
+	p.AddReadiness("x", func() error { return nil })
+	if ready, reasons := p.Ready(); !ready || reasons != nil {
+		t.Fatalf("nil plane readiness = %v %v", ready, reasons)
+	}
+	if body, _ := get(t, srv, "/epochs"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("/epochs over nil plane = %q", body)
 	}
 }

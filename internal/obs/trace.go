@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -49,12 +50,25 @@ const (
 	// StageAck is the full submit→durability-ack latency of one iteration —
 	// what the client flow window tracks.
 	StageAck
+	// StageForward is the fan leg of the aggregation wire: one merged
+	// epoch's transit from a node leader to the global aggregator host.
+	// Recorded on the receiving host from the sender's propagated
+	// timestamp (the in-process MPI ranks share one wall clock); Origin is
+	// the sending leader's world rank.
+	StageForward
+	// StageFanAck is the return leg: the global durability ack's transit
+	// back to the forwarding leader. Recorded on the leader from the
+	// host's propagated timestamp; Origin is the host's world rank.
+	// Distinct from StageAck, which is the client-visible submit→durable
+	// envelope.
+	StageFanAck
 	// NumStages bounds the stage space.
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"write", "encode", "queue", "spill", "persist", "merge", "commit", "ack",
+	"forward", "fanack",
 }
 
 func (s Stage) String() string {
@@ -78,6 +92,7 @@ func StageFromString(name string) (Stage, bool) {
 type Span struct {
 	Stage     Stage
 	Server    int   // world rank of the recording dedicated core; -1 when unknown
+	Origin    int   // world rank the work originated on (== Server for local spans)
 	Iteration int64 // iteration (or aggregation epoch); -1 when unknown
 	Start     int64 // nanoseconds since the Unix epoch
 	Dur       int64 // nanoseconds
@@ -93,6 +108,7 @@ type spanSlot struct {
 	seq    atomic.Int64 // 0 empty; -(idx+1) while writing; idx+1 when valid
 	stage  atomic.Int64
 	server atomic.Int64
+	origin atomic.Int64
 	iter   atomic.Int64
 	start  atomic.Int64
 	dur    atomic.Int64
@@ -138,11 +154,20 @@ func (t *Tracer) Cap() int {
 	return len(t.slots)
 }
 
-// Record appends one span. 0 allocs, lock-free, safe for concurrent use.
-// Under an extreme wraparound race (two writers 2^slots records apart
-// hitting one cell simultaneously) a single exported span may mix fields;
-// the ring itself is never corrupted.
+// Record appends one span whose work originated on the recording rank
+// (Origin == Server). 0 allocs, lock-free, safe for concurrent use. Under
+// an extreme wraparound race (two writers 2^slots records apart hitting
+// one cell simultaneously) a single exported span may mix fields; the ring
+// itself is never corrupted.
 func (t *Tracer) Record(stage Stage, server int, iteration int64, start time.Time, dur time.Duration, bytes int64, isErr bool) {
+	t.RecordFrom(stage, server, server, iteration, start, dur, bytes, isErr)
+}
+
+// RecordFrom appends one span carrying an explicit origin rank — the
+// cross-rank form the aggregation wire legs use: the recording rank is
+// `server`, the rank the work came from is `origin`. Same 0-alloc,
+// lock-free guarantees as Record.
+func (t *Tracer) RecordFrom(stage Stage, server, origin int, iteration int64, start time.Time, dur time.Duration, bytes int64, isErr bool) {
 	if t == nil || stage >= NumStages {
 		return
 	}
@@ -151,6 +176,7 @@ func (t *Tracer) Record(stage Stage, server int, iteration int64, start time.Tim
 	s.seq.Store(-(idx + 1))
 	s.stage.Store(int64(stage))
 	s.server.Store(int64(server))
+	s.origin.Store(int64(origin))
 	s.iter.Store(iteration)
 	s.start.Store(start.UnixNano())
 	s.dur.Store(int64(dur))
@@ -186,7 +212,11 @@ func (t *Tracer) Dropped() int64 {
 	return d
 }
 
-// Snapshot returns the retained spans oldest-first. Slots being overwritten
+// Snapshot returns the retained spans in deterministic (start, seq) order:
+// primary key the span's start timestamp, ties broken by record sequence.
+// Ring-slot order alone is not byte-stable across identical runs once the
+// ring wraps — which record lands in which slot depends on goroutine
+// interleaving — so the exports sort instead. Slots being overwritten
 // concurrently are skipped, so a snapshot taken mid-run is consistent but
 // possibly a few spans short.
 func (t *Tracer) Snapshot() []Span {
@@ -207,6 +237,7 @@ func (t *Tracer) Snapshot() []Span {
 		sp := Span{
 			Stage:     Stage(s.stage.Load()),
 			Server:    int(s.server.Load()),
+			Origin:    int(s.origin.Load()),
 			Iteration: s.iter.Load(),
 			Start:     s.start.Load(),
 			Dur:       s.dur.Load(),
@@ -218,6 +249,9 @@ func (t *Tracer) Snapshot() []Span {
 		}
 		out = append(out, sp)
 	}
+	// Spans were collected in ascending record-sequence order; a stable
+	// sort on start therefore leaves equal-start spans in seq order.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
 
@@ -268,10 +302,13 @@ func (t *Tracer) Collect(e *Emitter) {
 	}
 }
 
-// spanJSON is the JSONL wire form of a span.
+// spanJSON is the JSONL wire form of a span. Origin is a pointer so that
+// pre-fleet trace files (no origin field) read back with Origin defaulted
+// to Server rather than zero.
 type spanJSON struct {
 	Stage     string `json:"stage"`
 	Server    int    `json:"server"`
+	Origin    *int   `json:"origin,omitempty"`
 	Iteration int64  `json:"iter"`
 	StartNS   int64  `json:"start_ns"`
 	DurNS     int64  `json:"dur_ns"`
@@ -289,10 +326,12 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 func WriteSpansJSONL(w io.Writer, spans []Span) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, sp := range spans {
+	for i := range spans {
+		sp := &spans[i]
 		if err := enc.Encode(spanJSON{
 			Stage:     sp.Stage.String(),
 			Server:    sp.Server,
+			Origin:    &sp.Origin,
 			Iteration: sp.Iteration,
 			StartNS:   sp.Start,
 			DurNS:     sp.Dur,
@@ -318,9 +357,14 @@ func ReadSpansJSONL(r io.Reader) ([]Span, error) {
 		if !ok {
 			return nil, fmt.Errorf("obs: trace line %d: unknown stage %q", len(out)+1, sj.Stage)
 		}
+		origin := sj.Server
+		if sj.Origin != nil {
+			origin = *sj.Origin
+		}
 		out = append(out, Span{
 			Stage:     st,
 			Server:    sj.Server,
+			Origin:    origin,
 			Iteration: sj.Iteration,
 			Start:     sj.StartNS,
 			Dur:       sj.DurNS,
@@ -359,7 +403,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 func WriteSpansChrome(w io.Writer, spans []Span) error {
 	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans))}
 	for _, sp := range spans {
-		args := map[string]any{"iter": sp.Iteration}
+		args := map[string]any{"iter": sp.Iteration, "origin": sp.Origin}
 		if sp.Bytes > 0 {
 			args["bytes"] = sp.Bytes
 		}

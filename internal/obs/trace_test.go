@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -206,6 +207,108 @@ func TestWriteChrome(t *testing.T) {
 	}
 	if ev.Args["iter"] != float64(5) || ev.Args["bytes"] != float64(1024) {
 		t.Fatalf("unexpected chrome args %+v", ev.Args)
+	}
+}
+
+// TestSnapshotByteStableAfterWrap pins the satellite determinism contract:
+// two rings that retained the SAME final spans — after different amounts of
+// pre-wrap history and with the final spans recorded in different orders —
+// must export byte-identical /trace JSONL and Chrome documents. Snapshot's
+// (start, seq) sort is what makes the export a function of the retained span
+// set, not of ring offsets.
+func TestSnapshotByteStableAfterWrap(t *testing.T) {
+	const ringCap = 16
+	a, b := NewTracer(ringCap), NewTracer(ringCap)
+	// Different pre-histories: both rings wrap, at different slot offsets,
+	// over spans that differ between the two tracers.
+	for i := int64(0); i < 24; i++ {
+		a.Record(StageWrite, 9, i, time.Unix(0, 10+i), time.Microsecond, i, false)
+	}
+	for i := int64(0); i < 21; i++ {
+		b.Record(StageEncode, 8, i, time.Unix(0, 900+i), time.Millisecond, i, true)
+	}
+	// The same final ringCap spans, distinct Starts, recorded forward into a
+	// and backward into b — both rings end up retaining exactly this set.
+	final := make([]Span, ringCap)
+	for i := range final {
+		final[i] = Span{
+			Stage:     Stage(i % int(NumStages)),
+			Server:    i % 3,
+			Origin:    (i + 1) % 3,
+			Iteration: int64(100 + i),
+			Start:     int64(1_000_000 + i*1000),
+			Dur:       int64(i+1) * int64(time.Microsecond),
+			Bytes:     int64(i * 64),
+		}
+	}
+	rec := func(tr *Tracer, sp Span) {
+		tr.RecordFrom(sp.Stage, sp.Server, sp.Origin, sp.Iteration,
+			time.Unix(0, sp.Start), time.Duration(sp.Dur), sp.Bytes, sp.Err)
+	}
+	for i := 0; i < ringCap; i++ {
+		rec(a, final[i])
+	}
+	for i := ringCap - 1; i >= 0; i-- {
+		rec(b, final[i])
+	}
+	var ja, jb, ca, cb bytes.Buffer
+	if err := a.WriteJSONL(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Errorf("JSONL exports differ after wrap:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if err := a.WriteChrome(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		t.Error("chrome exports differ after wrap")
+	}
+	// And the exported order is the documented (start, seq): monotone starts.
+	spans := a.Snapshot()
+	if len(spans) != ringCap {
+		t.Fatalf("snapshot has %d spans, want %d", len(spans), ringCap)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("snapshot not start-ordered at %d: %d after %d",
+				i, spans[i].Start, spans[i-1].Start)
+		}
+	}
+}
+
+// Cross-rank spans round-trip their origin through JSONL, and pre-fleet
+// trace files without the field read back with Origin defaulting to Server.
+func TestSpansJSONLOriginRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.RecordFrom(StageForward, 0, 5, 12, time.Unix(0, 777), time.Millisecond, 2048, false)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"origin":5`) {
+		t.Fatalf("JSONL lacks origin field: %s", buf.String())
+	}
+	back, err := ReadSpansJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Origin != 5 || back[0].Server != 0 {
+		t.Fatalf("origin round trip = %+v", back)
+	}
+	legacy := `{"stage":"persist","server":3,"iter":1,"start":10,"dur_ns":20,"bytes":0,"err":false}` + "\n"
+	back, err = ReadSpansJSONL(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Origin != 3 {
+		t.Fatalf("legacy span origin = %+v, want Server (3)", back)
 	}
 }
 
