@@ -27,6 +27,11 @@
 //	                               # /fleet/metrics counter-sum check, epoch
 //	                               # critical-path attribution of a browned-
 //	                               # out persist stage) and emit BENCH_obs.json
+//	damaris-bench -shard-bench     # run the event-loop sharding gates (0-alloc
+//	                               # shard routing, O(iteration) TakeIteration
+//	                               # scaling, byte identity across shard
+//	                               # counts, steal engagement on a skewed run,
+//	                               # spare-core budget) and emit BENCH_shard.json
 package main
 
 import (
@@ -63,7 +68,10 @@ func main() {
 		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "output path for -resilience-bench")
 		obsBench      = flag.Bool("obs-bench", false,
 			"run the telemetry-plane and fleet gates (0-alloc observe paths, byte-stable exposition, federation merge determinism, live /fleet/metrics counter-sum and epoch critical-path attribution runs) and emit a JSON report")
-		obsOut = flag.String("obs-out", "BENCH_obs.json", "output path for -obs-bench")
+		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output path for -obs-bench")
+		shardBench = flag.Bool("shard-bench", false,
+			"run the event-loop sharding gates (0-alloc shard routing, O(iteration) TakeIteration scaling, byte identity across shard counts, steal engagement, spare-core budget) and emit a JSON report")
+		shardOut = flag.String("shard-out", "BENCH_shard.json", "output path for -shard-bench")
 	)
 	flag.Parse()
 
@@ -122,6 +130,14 @@ func main() {
 
 	if *obsBench {
 		if err := runObsBench(*obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *shardBench {
+		if err := runShardBench(*shardOut); err != nil {
 			fmt.Fprintln(os.Stderr, "damaris-bench:", err)
 			os.Exit(1)
 		}

@@ -76,6 +76,14 @@ func main() {
 			"auto-control upper bound on the flow-window depth (0 = default)")
 		controlMaxEncode = flag.Int("control-max-encode", 0,
 			"auto-control upper bound on encode workers (0 = default)")
+		shards = flag.Int("shards", 0,
+			"event-loop shards per dedicated core (0 or 1 = the classic single loop)")
+		shardsMode = flag.String("shards-mode", "",
+			"shard sizing: static (the -shards count is final; default) | auto (derive the count from the node spare-core budget, capped by -shards when set)")
+		shardsSteal = flag.Int("shards-steal", config.DefaultShardSteal,
+			"sibling queue backlog that lets an idle shard loop steal a write event (0 = stealing off)")
+		shardsBudget = flag.Int("shards-budget", 0,
+			"node spare-core budget shared by shard loops, persist writers and encode workers; setting it engages budget enforcement (0 = GOMAXPROCS-clients, engaged only in auto mode)")
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve live telemetry over HTTP on this address (/metrics Prometheus text, /metrics.json, /trace, /jitter, /debug/pprof); empty disables")
 		traceOut = flag.String("trace-out", "",
@@ -90,6 +98,7 @@ func main() {
 		*encodeWork, *gzipLevel, *persistBackend, *storePartSize, *storePutWorkers,
 		*storePutTimeout, *spillDir, *spillAfter, *aggregate, *aggregateRing,
 		*controlMode, *controlInterval, *controlMaxWorkers, *controlMaxWindow, *controlMaxEncode,
+		*shards, *shardsMode, *shardsSteal, *shardsBudget,
 		*metricsAddr, *traceOut, *traceRing); err != nil {
 		fmt.Fprintln(os.Stderr, "damaris-run:", err)
 		os.Exit(1)
@@ -102,6 +111,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	storePutWorkers, storePutTimeout int, spillDir string, spillAfter int,
 	aggregate string, aggregateRing int,
 	controlMode string, controlInterval, controlMaxWorkers, controlMaxWindow, controlMaxEncode int,
+	shards int, shardsMode string, shardsSteal, shardsBudget int,
 	metricsAddr, traceOut string, traceRing int) error {
 	if ranks%coresPerNode != 0 {
 		return fmt.Errorf("ranks %d not a multiple of cores-per-node %d", ranks, coresPerNode)
@@ -145,6 +155,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 	var serverSpare []float64
 	var bytesWritten int64
 	var pipeStats []core.PipelineStats
+	var shardBudgets [][2]int // engaged spare-core budget and shard reservation, per dedicated core
 
 	var cfg *config.Config
 	var sharedStore store.Backend
@@ -178,6 +189,10 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		cfg.ControlMaxWriters = controlMaxWorkers
 		cfg.ControlMaxWindow = controlMaxWindow
 		cfg.ControlMaxEncode = controlMaxEncode
+		cfg.ShardCount = shards
+		cfg.ShardMode = shardsMode
+		cfg.ShardSteal = shardsSteal
+		cfg.ShardBudget = shardsBudget
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
@@ -233,6 +248,8 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 				serverSpare = append(serverSpare, dep.Server.SpareSeconds())
 				bytesWritten += dep.Server.BytesWritten()
 				pipeStats = append(pipeStats, dep.Server.PipelineStats())
+				budget, reserved := dep.Server.SpareBudget()
+				shardBudgets = append(shardBudgets, [2]int{budget, reserved})
 				mu.Unlock()
 				return
 			}
@@ -276,6 +293,7 @@ func run(ranks, coresPerNode, steps, outputEvery int, outDir, backend string,
 		fmt.Printf("dedicated cores: %d flushes, write mean=%.2gs; spare total=%.2gs; %d bytes persisted\n",
 			ws.N, ws.Mean, stats.Mean(serverSpare), bytesWritten)
 		reportPipeline(pipeStats)
+		reportShards(pipeStats, shardBudgets)
 		reportSpill(pipeStats)
 		reportControl(pipeStats, controlMode)
 		reportStore(pipeStats, sharedStore)
@@ -368,6 +386,46 @@ func reportPipeline(ps []core.PipelineStats) {
 	fmt.Printf("pipeline: writer utilization mean=%.1f%%; batch size mean=%.2f\n",
 		100*stats.Mean(utils), stats.Mean(batchMeans))
 	reportEncode(ps)
+}
+
+// reportShards prints each dedicated core's event-loop shard activity and,
+// when engaged, the node spare-core budget. Silent with a single classic
+// loop everywhere and no budget — the pre-sharding report is unchanged then.
+func reportShards(ps []core.PipelineStats, budgets [][2]int) {
+	maxShards, maxBudget := 0, 0
+	for _, s := range ps {
+		if len(s.Shards) > maxShards {
+			maxShards = len(s.Shards)
+		}
+	}
+	for _, b := range budgets {
+		if b[0] > maxBudget {
+			maxBudget = b[0]
+		}
+	}
+	if maxShards <= 1 && maxBudget == 0 {
+		return
+	}
+	for i, s := range ps {
+		n := len(s.Shards)
+		var events, steals, stolen []int64
+		var busy []string
+		for _, sh := range s.Shards {
+			events = append(events, sh.Events)
+			steals = append(steals, sh.Steals)
+			stolen = append(stolen, sh.Stolen)
+			busy = append(busy, fmt.Sprintf("%.1f%%", 100*sh.BusyFraction))
+		}
+		fmt.Printf("shards[%d]: core %d: events=%v steals=%v stolen=%v busy=%v steal-threshold=%d\n",
+			n, i, events, steals, stolen, busy, s.StealThreshold)
+	}
+	for i, b := range budgets {
+		if b[0] == 0 {
+			continue
+		}
+		fmt.Printf("shards[budget]: core %d: %d spare cores (%d reserved for shard loops; writers+encode share the rest)\n",
+			i, b[0], b[1])
+	}
 }
 
 // reportSpill prints the degraded-mode scratch-spill activity, summed over

@@ -209,6 +209,25 @@ type Config struct {
 	ControlMaxWriters int
 	ControlMaxWindow  int
 	ControlMaxEncode  int
+	// ShardCount is the number of dedicated-core event-loop shards (0 or 1
+	// = the classic single loop, byte-for-byte the pre-sharding behavior).
+	// Clients are routed to shards by rank; the effective count is clamped
+	// to the client count at deployment.
+	ShardCount int
+	// ShardMode selects how the shard count is chosen: "" or "static" (use
+	// ShardCount as configured) or "auto" (derive the count from the node's
+	// spare-core budget at deployment and engage the tuner's
+	// oversubscription veto).
+	ShardMode string
+	// ShardSteal is the sibling queue length above which an idle shard
+	// steals pending write-notifications (0 = stealing off; an XML <shards>
+	// element without a steal attribute selects DefaultShardSteal).
+	ShardSteal int
+	// ShardBudget overrides the node spare-core budget that shards auto
+	// mode and the tuner's oversubscription veto divide between shard
+	// loops, persist writers, and encode workers (0 = derive
+	// GOMAXPROCS − clients at deployment when mode is auto).
+	ShardBudget int
 	// Layouts maps layout names to normalized (C-order) layouts.
 	Layouts map[string]layout.Layout
 	// Variables maps variable names to their declarations.
@@ -243,6 +262,7 @@ type xmlFile struct {
 	Spill    *xmlSpill     `xml:"spill"`
 	Aggr     *xmlAggregate `xml:"aggregate"`
 	Control  *xmlControl   `xml:"control"`
+	Shards   *xmlShards    `xml:"shards"`
 	Layouts  []xmlLayout   `xml:"layout"`
 	Vars     []xmlVariable `xml:"variable"`
 	Events   []xmlEvent    `xml:"event"`
@@ -298,6 +318,16 @@ type xmlControl struct {
 	MaxEncode  string `xml:"max_encode,attr"`
 }
 
+// xmlShards shards the dedicated core's event loop; numeric attributes are
+// strings so absent (default) is distinguishable from an explicit "0"
+// (steal="0" turns work stealing off).
+type xmlShards struct {
+	Count  string `xml:"count,attr"`
+	Mode   string `xml:"mode,attr"`
+	Steal  string `xml:"steal,attr"`
+	Budget string `xml:"budget,attr"`
+}
+
 type xmlLayout struct {
 	Name       string `xml:"name,attr"`
 	Type       string `xml:"type,attr"`
@@ -331,6 +361,10 @@ const (
 	// DefaultSpillAfter is the consecutive-backpressure count that triggers
 	// a scratch spill when <spill> enables one without an explicit after.
 	DefaultSpillAfter = 2
+	// DefaultShardSteal is the sibling queue length above which an idle
+	// shard loop steals work, applied when a <shards> element omits the
+	// steal attribute.
+	DefaultShardSteal = 4
 )
 
 // Parse reads configuration XML from r.
@@ -442,6 +476,32 @@ func build(f *xmlFile) (*Config, error) {
 			return nil, err
 		}
 		if err := atoi("max_encode", f.Control.MaxEncode, &c.ControlMaxEncode); err != nil {
+			return nil, err
+		}
+	}
+
+	// Event-loop sharding selection.
+	if f.Shards != nil {
+		c.ShardMode = f.Shards.Mode
+		c.ShardSteal = DefaultShardSteal
+		atoi := func(name, v string, dst *int) error {
+			if v == "" {
+				return nil
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("config: shards %s %q: %w", name, v, err)
+			}
+			*dst = n
+			return nil
+		}
+		if err := atoi("count", f.Shards.Count, &c.ShardCount); err != nil {
+			return nil, err
+		}
+		if err := atoi("steal", f.Shards.Steal, &c.ShardSteal); err != nil {
+			return nil, err
+		}
+		if err := atoi("budget", f.Shards.Budget, &c.ShardBudget); err != nil {
 			return nil, err
 		}
 	}
@@ -651,6 +711,20 @@ func (c *Config) Validate() error {
 	}
 	if c.ControlMode == "auto" && c.PersistWorkers == 0 {
 		return fmt.Errorf("config: control mode auto requires an asynchronous pipeline (persist workers >= 1), got workers=0")
+	}
+	switch c.ShardMode {
+	case "", "static", "auto":
+	default:
+		return fmt.Errorf("config: unknown shards mode %q (want static or auto)", c.ShardMode)
+	}
+	if c.ShardCount < 0 {
+		return fmt.Errorf("config: negative shard count %d", c.ShardCount)
+	}
+	if c.ShardSteal < 0 {
+		return fmt.Errorf("config: negative shard steal threshold %d", c.ShardSteal)
+	}
+	if c.ShardBudget < 0 {
+		return fmt.Errorf("config: negative shard spare-core budget %d", c.ShardBudget)
 	}
 	return nil
 }

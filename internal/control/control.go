@@ -159,6 +159,16 @@ type Config struct {
 	Alpha float64
 	// Clock injects time; nil selects the wall clock.
 	Clock Clock
+	// Budget is the node's spare-core budget (GOMAXPROCS − clients, or an
+	// explicit override) shared by shard event loops, persist writers, and
+	// encode workers. 0 disables budgeting (the pre-sharding behavior).
+	// With a budget set, initial sizes are trimmed to fit and decide()
+	// vetoes any growth that would push Writers+Encode+Reserved past it.
+	Budget int
+	// Reserved is the portion of Budget already committed to shard event
+	// loops; the tuner divides only the remainder between writers and
+	// encode workers.
+	Reserved int
 }
 
 // Stats is a snapshot of the controller's activity, surfaced through
@@ -185,6 +195,12 @@ type Stats struct {
 	Degraded bool
 	// DegradedDecisions counts decision points evaluated while degraded.
 	DegradedDecisions int64
+	// Budget and Reserved echo the spare-core budget configuration (0
+	// budget = budgeting off); BudgetVetoes counts decisions where growth
+	// was pulled back because Writers+Encode+Reserved would have exceeded
+	// the budget.
+	Budget, Reserved int
+	BudgetVetoes     int64
 }
 
 // Emit writes the snapshot into a registry gather under the
@@ -207,6 +223,9 @@ func (s Stats) Emit(e *obs.Emitter, labels ...string) {
 	e.Gauge("damaris_control_writers", float64(s.Sizes.Writers), ls...)
 	e.Gauge("damaris_control_window", float64(s.Sizes.Window), ls...)
 	e.Gauge("damaris_control_encode", float64(s.Sizes.Encode), ls...)
+	e.Gauge("damaris_control_budget", float64(s.Budget), ls...)
+	e.Gauge("damaris_control_reserved", float64(s.Reserved), ls...)
+	e.Counter("damaris_control_budget_vetoes_total", float64(s.BudgetVetoes), ls...)
 }
 
 // Tuner is the feedback controller. Observe is driven from a single
@@ -219,8 +238,12 @@ type Tuner struct {
 	alpha    float64
 	clock    Clock
 
+	budget   int // spare-core budget (0 = unlimited)
+	reserved int // cores committed to shard event loops
+
 	mu        sync.Mutex
 	cur       Sizes
+	vetoes    int64     // budget growth vetoes
 	last      time.Time // last decision instant
 	started   bool
 	flush     ewma
@@ -294,6 +317,9 @@ func New(cfg Config) (*Tuner, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = RealClock()
 	}
+	if cfg.Budget < 0 || cfg.Reserved < 0 || cfg.Reserved > cfg.Budget && cfg.Budget > 0 {
+		return nil, fmt.Errorf("control: invalid spare-core budget %d (reserved %d)", cfg.Budget, cfg.Reserved)
+	}
 	ini := cfg.Initial
 	if ini.Writers < 1 {
 		ini.Writers = 1
@@ -310,12 +336,26 @@ func New(cfg Config) (*Tuner, error) {
 	if ini.Encode > lim.MaxEncode {
 		ini.Encode = lim.MaxEncode
 	}
+	if cfg.Budget > 0 {
+		// Trim the starting sizes to the spare-core budget so even static
+		// mode never launches oversubscribed: shed encode workers first
+		// (the write path keeps priority), then writers down to the floor
+		// of one.
+		for ini.Encode > 0 && ini.Writers+ini.Encode+cfg.Reserved > cfg.Budget {
+			ini.Encode--
+		}
+		for ini.Writers > 1 && ini.Writers+ini.Encode+cfg.Reserved > cfg.Budget {
+			ini.Writers--
+		}
+	}
 	return &Tuner{
 		mode:     cfg.Mode,
 		limits:   lim,
 		interval: cfg.Interval,
 		alpha:    cfg.Alpha,
 		clock:    cfg.Clock,
+		budget:   cfg.Budget,
+		reserved: cfg.Reserved,
 		cur:      ini,
 	}, nil
 }
@@ -468,6 +508,30 @@ func (t *Tuner) decide() (Sizes, bool) {
 		next.Encode = step(t.cur.Encode, clamp(target, 1, t.limits.MaxEncode), &t.dirEncode)
 	}
 
+	// Spare-core budget veto: growth that would push the worker total past
+	// the node's spare cores is pulled back (encode first — the write path
+	// keeps priority). Moves are one step per decision, so reverting the
+	// grown dimensions always lands back within the previous usage; the
+	// budget never forces a shrink below a configuration that already fit.
+	if t.budget > 0 {
+		used := next.Writers + next.Encode + t.reserved
+		if used > t.budget {
+			vetoed := false
+			if next.Encode > t.cur.Encode {
+				used -= next.Encode - t.cur.Encode
+				next.Encode = t.cur.Encode
+				vetoed = true
+			}
+			if used > t.budget && next.Writers > t.cur.Writers {
+				next.Writers = t.cur.Writers
+				vetoed = true
+			}
+			if vetoed {
+				t.vetoes++
+			}
+		}
+	}
+
 	changed := next != t.cur
 	if changed {
 		t.resizes++
@@ -495,6 +559,9 @@ func (t *Tuner) Stats() Stats {
 		Limits:            t.limits,
 		Degraded:          t.degraded,
 		DegradedDecisions: t.degrDecs,
+		Budget:            t.budget,
+		Reserved:          t.reserved,
+		BudgetVetoes:      t.vetoes,
 	}
 	if t.flush.set && t.gap.set && t.gap.v > 0 {
 		st.Ratio = t.flush.v / t.gap.v

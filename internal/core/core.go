@@ -297,15 +297,30 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 		if err != nil {
 			return nil, fmt.Errorf("core: server %d: %w", g, err)
 		}
-		queue := event.NewQueue()
+		// Event-loop sharding: one queue+engine pair per shard, all over one
+		// sharded metadata store and one node-wide tally (iteration
+		// completion, signals and exits are counted across shards). Clients
+		// are routed to shards by local index, so each client's events keep
+		// their FIFO order on a single shard queue.
+		nsh := effectiveShards(cfg, len(group))
+		queues := make([]*event.Queue, nsh)
+		for i := range queues {
+			queues[i] = event.NewQueue()
+		}
 		fc := newFlow(window)
 		for localIdx, clientNodeRank := range group {
-			node.Send(clientNodeRank, tagInit, initMsg{seg: seg, queue: queue, fc: fc, localIdx: localIdx})
+			node.Send(clientNodeRank, tagInit,
+				initMsg{seg: seg, queue: queues[localIdx%nsh], fc: fc, localIdx: localIdx})
 		}
-		store := metadata.NewStore()
-		eng, err := event.NewEngine(cfg, reg, store, len(group), world.WorldRank(), node.Node(), opts.OutputDir)
-		if err != nil {
-			return nil, fmt.Errorf("core: server %d: %w", g, err)
+		store := metadata.NewSharded(nsh)
+		tally := event.NewTally(len(group))
+		engines := make([]*event.Engine, nsh)
+		for i := range engines {
+			eng, err := event.NewShardEngine(cfg, reg, store, tally, world.WorldRank(), node.Node(), opts.OutputDir)
+			if err != nil {
+				return nil, fmt.Errorf("core: server %d: %w", g, err)
+			}
+			engines[i] = eng
 		}
 		var sagg *serverAgg
 		if cfg.AggregateEnabled() {
@@ -316,7 +331,7 @@ func Deploy(world *mpi.Comm, cfg *config.Config, reg *plugin.Registry, opts Opti
 				return nil, err
 			}
 		}
-		srv, err := newServer(cfg, eng, queue, seg, fc, world.WorldRank(), node.Node(), g, opts, sagg, windowCap)
+		srv, err := newServer(cfg, engines, queues, seg, fc, world.WorldRank(), node.Node(), g, len(group), opts, sagg, windowCap)
 		if err != nil {
 			seg.Close()
 			return nil, err

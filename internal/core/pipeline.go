@@ -525,6 +525,13 @@ type PipelineStats struct {
 	// AggregateForwarded counts epochs this node's leader forwarded to the
 	// dedicated aggregator node ("node" mode, non-host leaders).
 	AggregateForwarded int64
+	// Shards snapshots the dedicated core's event-loop shards (one entry per
+	// shard loop; a single classic loop reports one). Filled by
+	// Server.PipelineStats.
+	Shards []ShardStat
+	// StealThreshold is the sibling-queue backlog that triggers work
+	// stealing between shard loops (0 = stealing off or single shard).
+	StealThreshold int
 }
 
 // tuneSample cheaply reads the telemetry the control plane consumes every

@@ -47,8 +47,11 @@ type BatchScheduler interface {
 // paper's dedicated-core design eliminates, kept for comparison runs.
 type Server struct {
 	cfg       *config.Config
-	eng       *event.Engine
-	queue     *event.Queue
+	eng       *event.Engine // shard 0's engine (they share the store and tally)
+	queue     *event.Queue  // shard 0's queue (where Inject routes)
+	shards    []*shardLoop  // the event-loop shards; len 1 = the classic single loop
+	started   time.Time     // server construction instant (wall base for busy fractions)
+	stoppedAt time.Time     // set when the shard loops exit; freezes the busy-fraction wall clock so post-run expositions are byte-stable
 	seg       segmentCloser
 	fc        *flow
 	id        int // world rank of this dedicated core
@@ -62,6 +65,8 @@ type Server struct {
 	ownStore  store.Backend   // backend this server opened (and must close)
 	agg       *serverAgg      // aggregation-layer state; nil when disabled
 	tuner     *control.Tuner  // nil under static control
+	budget    int             // spare-core budget (0 = budgeting off)
+	reserved  int             // budget cores reserved for shard loops
 	clock     control.Clock   // decision clock
 	tuneEvery time.Duration   // decision interval (heavy-sample rate limit)
 	lastIter  time.Time       // previous iteration-completion instant (event loop only)
@@ -69,18 +74,19 @@ type Server struct {
 
 	// tracer records iteration-lifecycle spans (nil = tracing off);
 	// iterFirst tracks each open iteration's first client event so the
-	// StageWrite span covers the whole server-side write phase. The map is
-	// touched only on the event loop (Run and its flushIteration hook).
+	// StageWrite span covers the whole server-side write phase. Guarded by
+	// mu — with several shard loops any of them may open an iteration.
 	tracer    *obs.Tracer
 	iterFirst map[int64]time.Time
 
 	closeOnce sync.Once
 
 	mu           sync.Mutex
-	writeDurs    []float64 // seconds spent persisting, per iteration
-	flushLats    []float64 // seconds from iteration completion to durability
-	spareDur     float64   // seconds spent idle waiting for events
-	busyDur      float64   // seconds handling events (incl. persisting only in the sync baseline)
+	shardWS      control.WorkerSet // per-shard-loop busy bookkeeping (one slot per shard)
+	writeDurs    []float64         // seconds spent persisting, per iteration
+	flushLats    []float64         // seconds from iteration completion to durability
+	spareDur     float64           // seconds spent idle waiting for events
+	busyDur      float64           // seconds handling events (incl. persisting only in the sync baseline)
 	bytesWritten int64
 	iterations   []int64
 	handleErrs   []error
@@ -96,16 +102,23 @@ type segmentCloser interface {
 	FreeBytes() int64
 }
 
-// newServer builds a dedicated-core server. windowCap, when positive,
-// bounds the control plane's flow-window range to what the shared buffer
-// can hold (Deploy derives it from the segment size and the estimated
-// write-phase volume); 0 means no buffer-derived cap.
-func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmentCloser,
-	fc *flow, worldRank, node, group int, opts Options, sagg *serverAgg, windowCap int) (*Server, error) {
+// newServer builds a dedicated-core server over one engine+queue pair per
+// event-loop shard (len 1 = the classic single loop; all engines must share
+// one metadata store and one event.Tally). windowCap, when positive, bounds
+// the control plane's flow-window range to what the shared buffer can hold
+// (Deploy derives it from the segment size and the estimated write-phase
+// volume); 0 means no buffer-derived cap. clients is the number of compute
+// cores this server serves — the spare-core budget's other half.
+func newServer(cfg *config.Config, engines []*event.Engine, queues []*event.Queue, seg segmentCloser,
+	fc *flow, worldRank, node, group, clients int, opts Options, sagg *serverAgg, windowCap int) (*Server, error) {
+	if len(engines) == 0 || len(engines) != len(queues) {
+		return nil, fmt.Errorf("core: server %d: %d engines for %d queues", worldRank, len(engines), len(queues))
+	}
 	s := &Server{
 		cfg:       cfg,
-		eng:       eng,
-		queue:     q,
+		eng:       engines[0],
+		queue:     queues[0],
+		started:   time.Now(),
 		seg:       seg,
 		fc:        fc,
 		id:        worldRank,
@@ -116,6 +129,26 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 		tracer:    opts.Obs.Tracer(),
 		iterFirst: make(map[int64]time.Time),
 	}
+	steal := 0
+	if len(engines) > 1 {
+		steal = cfg.ShardSteal
+	}
+	for i := range engines {
+		s.shards = append(s.shards, &shardLoop{idx: i, queue: queues[i], eng: engines[i], steal: steal})
+	}
+	// One WorkerSet slot per shard loop: the same busy bookkeeping the
+	// writer and encode pools use, so per-shard utilization is computed the
+	// same way (Σbusy/(peak×wall)).
+	s.shardWS.Resize(len(engines), func(int, chan struct{}) {})
+	// Spare-core budget: engaged only when sharding auto mode (or an
+	// explicit budget) opts in; the shard loops' reservation comes off the
+	// top and the tuner divides the rest between writers and encoders.
+	budget, reserved := 0, 0
+	if shardBudgeted(cfg) {
+		budget = nodeSpareBudget(cfg, clients)
+		reserved = len(engines)
+	}
+	s.budget, s.reserved = budget, reserved
 	if sagg != nil {
 		// Aggregation layer on: this server persists through its member
 		// handle — Persist returns only once the node's (or node group's)
@@ -225,6 +258,8 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 			},
 			Interval: time.Duration(cfg.ControlIntervalMS) * time.Millisecond,
 			Clock:    s.clock,
+			Budget:   budget,
+			Reserved: reserved,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: server %d: %w", worldRank, err)
@@ -274,10 +309,17 @@ func newServer(cfg *config.Config, eng *event.Engine, q *event.Queue, seg segmen
 			s.pipe.attachScratch(sc)
 		}
 	}
-	eng.OnIterationEnd = s.flushIteration
-	eng.OnAllExited = func() error {
-		s.queue.Close()
-		return nil
+	for i, eng := range engines {
+		shard := i
+		eng.OnIterationEnd = func(it int64) error { return s.flushIterationFrom(shard, it) }
+		// The last ClientExit (counted node-wide on the shared tally) closes
+		// every shard queue so all loops drain and exit.
+		eng.OnAllExited = func() error {
+			for _, q := range queues {
+				q.Close()
+			}
+			return nil
+		}
 	}
 	if reg := opts.Obs.Registry(); reg != nil {
 		s.RegisterObs(reg)
@@ -330,11 +372,22 @@ func (s *Server) Node() int { return s.node }
 // tools").
 func (s *Server) Engine() *event.Engine { return s.eng }
 
-// Inject queues an event as an external tool would.
+// Inject queues an event as an external tool would (onto shard 0's queue).
 func (s *Server) Inject(ev event.Event) { s.queue.Push(ev) }
 
-// Run executes the dedicated-core loop until every client has finalized and
-// the queue has drained. It returns the first persistence error, if any;
+// ShardCount returns the number of event-loop shards this server runs
+// (1 = the classic single loop).
+func (s *Server) ShardCount() int { return len(s.shards) }
+
+// SpareBudget reports the node spare-core budget the control plane enforces
+// and the cores of it reserved for shard loops. Both are 0 when budgeting is
+// off (neither shards auto mode nor an explicit budget engaged it).
+func (s *Server) SpareBudget() (budget, reserved int) { return s.budget, s.reserved }
+
+// Run executes the dedicated-core loop(s) until every client has finalized
+// and all shard queues have drained. With one shard it runs the loop inline
+// (the classic behavior); with several it runs one goroutine per shard and
+// waits for all of them. It returns the first persistence error, if any;
 // per-event handling errors (unknown variables, failing actions) are
 // collected and available through HandleErrors, matching a long-running
 // service that logs and continues.
@@ -347,33 +400,22 @@ func (s *Server) Run() error {
 	s.running = true
 	s.mu.Unlock()
 
-	for {
-		idleStart := time.Now()
-		ev, ok := s.queue.Pop()
-		s.mu.Lock()
-		s.spareDur += time.Since(idleStart).Seconds()
-		s.mu.Unlock()
-		if !ok {
-			break
+	if len(s.shards) == 1 {
+		s.runShard(s.shards[0])
+	} else {
+		var wg sync.WaitGroup
+		for _, sl := range s.shards {
+			wg.Add(1)
+			go func(sl *shardLoop) {
+				defer wg.Done()
+				s.runShard(sl)
+			}(sl)
 		}
-		busyStart := time.Now()
-		if s.tracer != nil && ev.Kind == event.WriteNotification {
-			if _, seen := s.iterFirst[ev.Iteration]; !seen {
-				s.iterFirst[ev.Iteration] = busyStart
-			}
-		}
-		if err := s.eng.Handle(ev); err != nil {
-			s.mu.Lock()
-			s.handleErrs = append(s.handleErrs, err)
-			if s.flushErr == nil && isFlushError(err) {
-				s.flushErr = err
-			}
-			s.mu.Unlock()
-		}
-		s.mu.Lock()
-		s.busyDur += time.Since(busyStart).Seconds()
-		s.mu.Unlock()
+		wg.Wait()
 	}
+	s.mu.Lock()
+	s.stoppedAt = time.Now()
+	s.mu.Unlock()
 	// Flush anything left behind (clients that exited without ending their
 	// last iteration).
 	if leftover := s.eng.Store().Iterations(); len(leftover) > 0 {
@@ -463,26 +505,41 @@ func isFlushError(err error) bool {
 	return ok
 }
 
-// flushIteration hands one completed iteration to the persistence path. It
-// is the engine's OnIterationEnd hook, so it runs on the dedicated core —
-// the simulation never waits for it. With the write-behind pipeline the
-// hand-off is a bounded-queue send (blocking only when the pipeline is
+// flushIteration hands one completed iteration to the persistence path
+// without attributing it to an event-loop shard — the leftover path Run
+// takes after every shard loop has drained.
+func (s *Server) flushIteration(it int64) error { return s.flushIterationFrom(-1, it) }
+
+// flushIterationFrom hands one completed iteration to the persistence path.
+// It is the engine's OnIterationEnd hook, so it runs on the dedicated core —
+// the simulation never waits for it; with several shard loops the engine's
+// tally has already serialized flushes into ascending-iteration order, so at
+// most one flush runs at a time (the pipeline's single-submitter contract).
+// `shard` is the loop that counted the iteration's last EndIteration (-1 =
+// not shard-attributed). With the write-behind pipeline the hand-off is a
+// bounded-queue send (blocking only when the pipeline is
 // `persist_queue_depth` iterations behind — the backpressure point); the
 // event loop then resumes draining client events while writers persist.
 // Entries leave the metadata catalog here but their shared-memory chunks
 // stay pinned until a writer reports the iteration durable.
-func (s *Server) flushIteration(it int64) error {
+func (s *Server) flushIterationFrom(shard int, it int64) error {
 	entries := s.eng.Store().TakeIteration(it)
 	if s.tracer != nil {
 		// StageWrite: first client write notification → iteration complete,
-		// the server-side view of the write phase the paper measures.
-		if t0, ok := s.iterFirst[it]; ok {
+		// the server-side view of the write phase the paper measures,
+		// attributed to the shard that completed the iteration.
+		s.mu.Lock()
+		t0, ok := s.iterFirst[it]
+		if ok {
 			delete(s.iterFirst, it)
+		}
+		s.mu.Unlock()
+		if ok {
 			var bytes int64
 			for _, e := range entries {
 				bytes += e.Size()
 			}
-			s.tracer.RecordSince(obs.StageWrite, s.id, it, t0, bytes, false)
+			s.tracer.RecordShard(obs.StageWrite, s.id, shard, it, t0, time.Since(t0), bytes, false)
 		}
 	}
 	// Aggregation on: contribute to the node's merge here, from the event
@@ -694,6 +751,10 @@ func (s *Server) PipelineStats() PipelineStats {
 		if s.fc != nil {
 			ps.Window = int(s.fc.windowSize())
 		}
+	}
+	ps.Shards = s.shardStats()
+	if len(s.shards) > 0 {
+		ps.StealThreshold = s.shards[0].steal
 	}
 	ps.Control = s.tuner.Stats()
 	// Report the pool this server owns, or the one an external persister

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"damaris/internal/config"
+	"damaris/internal/event"
+)
+
+// Event-loop sharding: the dedicated core's single event loop becomes N
+// shard loops, each pulling from its own queue. Clients are routed to
+// shards by rank at handshake time (localIdx % shards), so one client's
+// events keep their FIFO order on one shard; iteration completion, global
+// signals and exits are counted node-wide through the shared event.Tally,
+// and flushes rendezvous there so per-epoch emission into the pipeline,
+// spill, and aggregation layers stays strictly ascending — exactly the
+// single-submitter sequence the pre-sharding loop produced. See
+// docs/sharding.md.
+
+// stealPoll is how long an idle shard loop waits on its own queue between
+// scans of sibling queues for stealable work. Only used when stealing is on
+// and more than one shard runs.
+const stealPoll = time.Millisecond
+
+// shardLoop is one of the dedicated core's event-loop shards.
+type shardLoop struct {
+	idx   int
+	queue *event.Queue
+	eng   *event.Engine
+	steal int // sibling queue length that triggers stealing; 0 = off
+
+	mu     sync.Mutex
+	events int64 // events handled by this loop, including stolen ones
+	steals int64 // events this shard stole from sibling queues
+	stolen int64 // events siblings stole from this shard's queue
+}
+
+// ShardStat is one event-loop shard's activity snapshot, reported through
+// PipelineStats.Shards.
+type ShardStat struct {
+	// Events counts events handled by this shard's loop (including ones it
+	// stole); Steals counts events it took from sibling queues; Stolen
+	// counts events siblings took from its queue.
+	Events, Steals, Stolen int64
+	// QueueLen is the shard queue's instantaneous length at snapshot time.
+	QueueLen int
+	// BusySeconds is the time this shard's loop spent handling events;
+	// BusyFraction is that over the server's wall time — frozen when the
+	// shard loops exit, so post-run snapshots are stable (the per-shard
+	// complement of the paper's spare-time figure).
+	BusySeconds  float64
+	BusyFraction float64
+}
+
+// nodeSpareBudget is the node's spare-core budget a dedicated core may
+// spread across shard loops, persist writers, and encode workers: an
+// explicit config override, or GOMAXPROCS − clients (floored at 1).
+func nodeSpareBudget(cfg *config.Config, clients int) int {
+	if cfg.ShardBudget > 0 {
+		return cfg.ShardBudget
+	}
+	b := runtime.GOMAXPROCS(0) - clients
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// shardBudgeted reports whether the spare-core budget is engaged: shards
+// auto mode derives one, and an explicit budget opts in regardless of mode.
+// Without either, budgeting is off (0) — the pre-sharding behavior.
+func shardBudgeted(cfg *config.Config) bool {
+	return cfg.ShardMode == "auto" || cfg.ShardBudget > 0
+}
+
+// effectiveShards resolves the shard-loop count for a dedicated core
+// serving `clients` compute cores. Static mode (or no <shards> element)
+// uses the configured count as-is; auto mode gives the event plane half the
+// spare-core budget (rounded down, at least one loop), never more than an
+// explicit count. The result is clamped to the client count — a shard with
+// no clients would idle forever — and to the budget when budgeting is on.
+func effectiveShards(cfg *config.Config, clients int) int {
+	n := cfg.ShardCount
+	if cfg.ShardMode == "auto" {
+		n = nodeSpareBudget(cfg, clients) / 2
+		if cfg.ShardCount > 0 && n > cfg.ShardCount {
+			n = cfg.ShardCount
+		}
+	}
+	if shardBudgeted(cfg) {
+		if b := nodeSpareBudget(cfg, clients); n > b {
+			n = b
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > clients {
+		n = clients
+	}
+	return n
+}
+
+// runShard is one shard loop: pop (or steal) events, time idle vs busy, and
+// hand each event to the shard's engine. It returns when the shard's queue
+// is closed and drained.
+func (s *Server) runShard(sl *shardLoop) {
+	for {
+		idleStart := time.Now()
+		ev, ok, wasStolen := s.nextEvent(sl)
+		s.mu.Lock()
+		s.spareDur += time.Since(idleStart).Seconds()
+		s.mu.Unlock()
+		if !ok {
+			return
+		}
+		busyStart := time.Now()
+		if s.tracer != nil && ev.Kind == event.WriteNotification {
+			s.mu.Lock()
+			if _, seen := s.iterFirst[ev.Iteration]; !seen {
+				s.iterFirst[ev.Iteration] = busyStart
+			}
+			s.mu.Unlock()
+		}
+		err := sl.eng.Handle(ev)
+		if wasStolen {
+			// The write is applied (or definitively rejected): release any
+			// flush waiting on this iteration's stolen events.
+			sl.eng.Tally().DonePending(ev.Iteration)
+		}
+		if err != nil {
+			s.mu.Lock()
+			s.handleErrs = append(s.handleErrs, err)
+			if s.flushErr == nil && isFlushError(err) {
+				s.flushErr = err
+			}
+			s.mu.Unlock()
+		}
+		busy := time.Since(busyStart).Seconds()
+		s.mu.Lock()
+		s.busyDur += busy
+		s.shardWS.AddBusy(sl.idx, busy)
+		s.mu.Unlock()
+		sl.mu.Lock()
+		sl.events++
+		sl.mu.Unlock()
+	}
+}
+
+// nextEvent returns the shard's next event: its own queue first, then — when
+// stealing is on and the queue is empty — a bounded steal from the most
+// backlogged direction of the sibling ring, interleaved with short timed
+// waits on its own queue. ok=false means the queue is closed and drained;
+// wasStolen marks events that must be un-pended after handling.
+func (s *Server) nextEvent(sl *shardLoop) (ev event.Event, ok, wasStolen bool) {
+	if ev, ok := sl.queue.TryPop(); ok {
+		return ev, true, false
+	}
+	stealing := sl.steal > 0 && len(s.shards) > 1
+	for {
+		if stealing {
+			if ev, ok := s.trySteal(sl); ok {
+				return ev, true, true
+			}
+			ev, ok, closed := sl.queue.PopWait(stealPoll)
+			if ok {
+				return ev, true, false
+			}
+			if closed {
+				return event.Event{}, false, false
+			}
+			continue // timed out: rescan siblings
+		}
+		ev, ok := sl.queue.Pop()
+		return ev, ok, false
+	}
+}
+
+// trySteal scans the sibling shards (starting just past this one, so thieves
+// spread over victims) and steals at most one pending WriteNotification from
+// the first whose queue backlog exceeds the steal threshold. Only writes are
+// stealable: EndIteration/signal/exit events must stay on the owner shard so
+// per-client completion order is preserved. The pending registration inside
+// StealPop's accept callback happens under the victim queue's lock, before
+// the victim can pop past the stolen event — a flush of that iteration then
+// waits for the thief to finish applying it.
+func (s *Server) trySteal(sl *shardLoop) (event.Event, bool) {
+	n := len(s.shards)
+	tally := sl.eng.Tally()
+	for off := 1; off < n; off++ {
+		sib := s.shards[(sl.idx+off)%n]
+		if sib.queue.Len() <= sl.steal {
+			continue
+		}
+		ev, ok := sib.queue.StealPop(func(ev event.Event) bool {
+			if ev.Kind != event.WriteNotification {
+				return false
+			}
+			tally.AddPending(ev.Iteration)
+			return true
+		})
+		if !ok {
+			continue
+		}
+		sl.mu.Lock()
+		sl.steals++
+		sl.mu.Unlock()
+		sib.mu.Lock()
+		sib.stolen++
+		sib.mu.Unlock()
+		return ev, true
+	}
+	return event.Event{}, false
+}
+
+// shardStats snapshots every shard loop's counters, busy time (from the
+// server's WorkerSet slots), and instantaneous queue length.
+func (s *Server) shardStats() []ShardStat {
+	end := time.Now()
+	s.mu.Lock()
+	busy := s.shardWS.Busy()
+	if !s.stoppedAt.IsZero() {
+		end = s.stoppedAt
+	}
+	s.mu.Unlock()
+	wall := end.Sub(s.started).Seconds()
+	out := make([]ShardStat, len(s.shards))
+	for i, sl := range s.shards {
+		sl.mu.Lock()
+		st := ShardStat{
+			Events: sl.events,
+			Steals: sl.steals,
+			Stolen: sl.stolen,
+		}
+		sl.mu.Unlock()
+		st.QueueLen = sl.queue.Len()
+		if i < len(busy) {
+			st.BusySeconds = busy[i]
+		}
+		if wall > 0 {
+			st.BusyFraction = st.BusySeconds / wall
+		}
+		out[i] = st
+	}
+	return out
+}

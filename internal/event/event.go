@@ -11,6 +11,7 @@ package event
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"damaris/internal/config"
 	"damaris/internal/layout"
@@ -59,6 +60,7 @@ type Event struct {
 	Block     *shm.Block    // payload handle for write-notifications
 	Layout    layout.Layout // dataset layout (may be zero if static/config)
 	Global    layout.Block  // position in the global domain (optional)
+	Seq       int64         // queue push order (assigned by Push); versions same-tuple overwrites
 }
 
 // Queue is an unbounded multi-producer single-consumer FIFO with blocking
@@ -87,8 +89,9 @@ func (q *Queue) Push(e Event) {
 		q.mu.Unlock()
 		panic("event: Push on closed queue")
 	}
-	q.items = append(q.items, e)
 	q.pushed++
+	e.Seq = q.pushed
+	q.items = append(q.items, e)
 	q.mu.Unlock()
 	q.cond.Signal()
 }
@@ -121,6 +124,47 @@ func (q *Queue) TryPop() (e Event, ok bool) {
 	return e, true
 }
 
+// PopWait blocks like Pop but gives up after d: ok reports an event was
+// returned, closed reports the queue is closed and drained. ok=false with
+// closed=false means the wait timed out — shard loops use this to
+// periodically scan sibling queues for work to steal while idle.
+func (q *Queue) PopWait(d time.Duration) (e Event, ok, closed bool) {
+	deadline := time.Now().Add(d)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Event{}, false, false
+		}
+		t := time.AfterFunc(remain, q.cond.Broadcast)
+		q.cond.Wait()
+		t.Stop()
+	}
+	if len(q.items) == 0 {
+		return Event{}, false, true
+	}
+	e = q.items[0]
+	q.items = q.items[1:]
+	return e, true, false
+}
+
+// StealPop removes and returns the head event if accept approves it. The
+// accept callback runs under the queue lock, so any bookkeeping it performs
+// (registering the stolen event as pending) is visible before the owning
+// shard can pop the events that followed. Used by idle shard loops to take
+// work from a backlogged sibling.
+func (q *Queue) StealPop(accept func(Event) bool) (Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 || !accept(q.items[0]) {
+		return Event{}, false
+	}
+	e := q.items[0]
+	q.items = q.items[1:]
+	return e, true
+}
+
 // Len returns the number of queued events.
 func (q *Queue) Len() int {
 	q.mu.Lock()
@@ -146,23 +190,23 @@ func (q *Queue) Close() {
 
 // Engine is the EPE: it interprets events against the configuration,
 // maintains the metadata catalog, dispatches plugin actions, and detects
-// iteration completion across the node's clients.
+// iteration completion across the node's clients. A dedicated core running
+// several shard loops creates one Engine per shard (NewShardEngine), all
+// sharing one Tally and one metadata store; iteration completion, global
+// signals, and client exits are then counted node-wide while each engine
+// keeps its own plugin context.
 type Engine struct {
-	cfg     *config.Config
-	reg     *plugin.Registry
-	store   *metadata.Store
-	clients int // number of clients this dedicated core serves
+	cfg   *config.Config
+	reg   *plugin.Registry
+	store *metadata.Store
+	tally *Tally // shared completion/signal/exit tracking
 
 	ctx plugin.Context
 
-	// iteration completion tracking
-	endCount map[int64]int
-	// global-scope signal tracking: (event name, iteration) -> count
-	sigCount map[sigKey]int
-	exited   int
-
 	// OnIterationEnd, when non-nil, runs after every client has announced
 	// EndIteration for an iteration (the dedicated core's flush hook).
+	// Calls across all engines sharing a Tally are serialized and strictly
+	// ascending in iteration completion order.
 	OnIterationEnd func(iteration int64) error
 	// OnAllExited, when non-nil, runs once after every client sent
 	// ClientExit.
@@ -179,22 +223,34 @@ type sigKey struct {
 // persistency actions write.
 func NewEngine(cfg *config.Config, reg *plugin.Registry, store *metadata.Store,
 	clients, serverID, node int, outputDir string) (*Engine, error) {
+	if clients <= 0 {
+		return nil, fmt.Errorf("event: engine needs at least one client, got %d", clients)
+	}
+	return NewShardEngine(cfg, reg, store, NewTally(clients), serverID, node, outputDir)
+}
+
+// NewShardEngine builds one shard's EPE sharing a node-wide tally with its
+// sibling engines. All engines of one dedicated core must share both the
+// tally and the metadata store.
+func NewShardEngine(cfg *config.Config, reg *plugin.Registry, store *metadata.Store,
+	tally *Tally, serverID, node int, outputDir string) (*Engine, error) {
 	if cfg == nil {
 		return nil, fmt.Errorf("event: nil config")
 	}
 	if store == nil {
 		return nil, fmt.Errorf("event: nil metadata store")
 	}
-	if clients <= 0 {
-		return nil, fmt.Errorf("event: engine needs at least one client, got %d", clients)
+	if tally == nil {
+		return nil, fmt.Errorf("event: nil tally")
+	}
+	if tally.Clients() <= 0 {
+		return nil, fmt.Errorf("event: engine needs at least one client, got %d", tally.Clients())
 	}
 	return &Engine{
-		cfg:      cfg,
-		reg:      reg,
-		store:    store,
-		clients:  clients,
-		endCount: make(map[int64]int),
-		sigCount: make(map[sigKey]int),
+		cfg:   cfg,
+		reg:   reg,
+		store: store,
+		tally: tally,
 		ctx: plugin.Context{
 			Store:     store,
 			ServerID:  serverID,
@@ -206,6 +262,10 @@ func NewEngine(cfg *config.Config, reg *plugin.Registry, store *metadata.Store,
 
 // Store exposes the engine's metadata catalog.
 func (e *Engine) Store() *metadata.Store { return e.store }
+
+// Tally exposes the engine's shared completion tracker (used by shard loops
+// to register stolen writes).
+func (e *Engine) Tally() *Tally { return e.tally }
 
 // Context returns the plugin context (for inspection in tests and tools).
 func (e *Engine) Context() *plugin.Context { return &e.ctx }
@@ -222,8 +282,7 @@ func (e *Engine) Handle(ev Event) error {
 	case EndIteration:
 		return e.handleEnd(ev)
 	case ClientExit:
-		e.exited++
-		if e.exited == e.clients && e.OnAllExited != nil {
+		if e.tally.clientExit() && e.OnAllExited != nil {
 			return e.OnAllExited()
 		}
 		return nil
@@ -256,6 +315,7 @@ func (e *Engine) handleWrite(ev Event) error {
 		Layout: lay,
 		Block:  ev.Block,
 		Global: ev.Global,
+		Seq:    ev.Seq,
 	})
 }
 
@@ -270,13 +330,10 @@ func (e *Engine) handleSignal(ev Event) error {
 	}
 	if decl.Scope == "global" {
 		// Global scope: fire once per iteration, after every client of this
-		// node has raised the signal.
-		k := sigKey{ev.Name, ev.Iteration}
-		e.sigCount[k]++
-		if e.sigCount[k] < e.clients {
+		// node has raised the signal (counted node-wide across shards).
+		if !e.tally.signal(sigKey{ev.Name, ev.Iteration}) {
 			return nil
 		}
-		delete(e.sigCount, k)
 		e.ctx.Iteration = ev.Iteration
 		e.ctx.Source = -1
 		return action(&e.ctx, ev.Name)
@@ -287,11 +344,15 @@ func (e *Engine) handleSignal(ev Event) error {
 }
 
 func (e *Engine) handleEnd(ev Event) error {
-	e.endCount[ev.Iteration]++
-	if e.endCount[ev.Iteration] < e.clients {
+	ticket, fire := e.tally.endIteration(ev.Iteration)
+	if !fire {
 		return nil
 	}
-	delete(e.endCount, ev.Iteration)
+	// Rendezvous: wait for our flush turn (tickets are issued in iteration
+	// completion order, so per-epoch emission stays strictly ascending) and
+	// for any stolen writes of this iteration to finish applying.
+	e.tally.awaitFlush(ticket, ev.Iteration)
+	defer e.tally.flushDone()
 	if e.OnIterationEnd != nil {
 		return e.OnIterationEnd(ev.Iteration)
 	}

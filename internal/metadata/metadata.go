@@ -9,10 +9,20 @@
 // structure: it maps tuples to data handles, answers per-iteration and
 // per-variable queries for actions (persist, compress, statistics), and
 // releases shared-memory blocks once an iteration is flushed.
+//
+// The catalog is internally sharded: tuples hash by (variable name, source
+// rank) onto a power-of-two number of shards, each with its own lock and its
+// own per-iteration and per-variable indexes. NewStore builds a single-shard
+// catalog (exactly the historical behavior); NewSharded spreads the same API
+// over N shards so concurrent event-loop shards do not serialize on one
+// mutex. Every cross-shard query merges per-shard results in the same
+// deterministic (name, source) order as before, so persistence output is
+// byte-identical for any shard count.
 package metadata
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -36,6 +46,7 @@ type Entry struct {
 	Block  *shm.Block   // shared-memory handle (nil if inline)
 	Inline []byte       // inline payload (nil if in shared memory)
 	Global layout.Block // position of this piece in the global domain (optional)
+	Seq    int64        // queue-assigned push order; on tuple overwrite the higher Seq wins
 }
 
 // Bytes returns the dataset payload regardless of where it lives.
@@ -63,21 +74,70 @@ func (e *Entry) release() {
 // failed). Releasing twice is a no-op.
 func (e *Entry) Release() { e.release() }
 
-// Store is a thread-safe tuple catalog. The zero value is not usable; use
-// NewStore.
-type Store struct {
-	mu      sync.RWMutex
-	entries map[Key]*Entry
+// storeShard is one lock domain of the catalog. Entries are indexed twice:
+// by iteration (the flush path: TakeIteration, TotalBytes, Iteration) and by
+// variable name (the query path: Variable), so neither walks unrelated
+// entries.
+type storeShard struct {
+	mu     sync.RWMutex
+	byIter map[int64]map[Key]*Entry
+	byName map[string]map[Key]*Entry
+	count  int
 }
 
-// NewStore creates an empty catalog.
-func NewStore() *Store {
-	return &Store{entries: make(map[Key]*Entry)}
+// Store is a thread-safe tuple catalog. The zero value is not usable; use
+// NewStore or NewSharded.
+type Store struct {
+	shards []storeShard
+	mask   uint32
+}
+
+// NewStore creates an empty single-shard catalog.
+func NewStore() *Store { return NewSharded(1) }
+
+// NewSharded creates an empty catalog spread over n lock shards; n is
+// rounded up to the next power of two (minimum 1).
+func NewSharded(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].byIter = make(map[int64]map[Key]*Entry)
+		s.shards[i].byName = make(map[string]map[Key]*Entry)
+	}
+	return s
+}
+
+// ShardCount reports the number of lock shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// shardFor routes a tuple to its shard: FNV-1a over the variable name mixed
+// with the source rank. Allocation-free.
+func (s *Store) shardFor(name string, source int) *storeShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	h ^= uint32(source)
+	h *= prime32
+	return &s.shards[h&s.mask]
 }
 
 // Put registers an entry. Re-writing an existing tuple replaces the previous
 // entry and releases its shared-memory block (a client overwriting the same
-// variable within one iteration).
+// variable within one iteration). When both entries carry a queue sequence
+// number, the higher Seq wins regardless of arrival order — a work-stealing
+// shard may apply an older write after the owner shard already applied a
+// newer one for the same tuple.
 func (s *Store) Put(e *Entry) error {
 	if e == nil {
 		return fmt.Errorf("metadata: nil entry")
@@ -88,40 +148,67 @@ func (s *Store) Put(e *Entry) error {
 	if e.Block == nil && e.Inline == nil {
 		return fmt.Errorf("metadata: entry %v carries no data", e.Key)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.entries[e.Key]; ok {
+	sh := s.shardFor(e.Key.Name, e.Key.Source)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.byIter[e.Key.Iteration][e.Key]; ok {
+		if e.Seq < old.Seq {
+			// Stale overwrite arriving late (stolen event): keep the newer
+			// entry and drop the incoming payload.
+			e.release()
+			return nil
+		}
 		old.release()
+		sh.count--
 	}
-	s.entries[e.Key] = e
+	im := sh.byIter[e.Key.Iteration]
+	if im == nil {
+		im = make(map[Key]*Entry)
+		sh.byIter[e.Key.Iteration] = im
+	}
+	im[e.Key] = e
+	nm := sh.byName[e.Key.Name]
+	if nm == nil {
+		nm = make(map[Key]*Entry)
+		sh.byName[e.Key.Name] = nm
+	}
+	nm[e.Key] = e
+	sh.count++
 	return nil
 }
 
 // Get returns the entry for a tuple.
 func (s *Store) Get(k Key) (*Entry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[k]
+	sh := s.shardFor(k.Name, k.Source)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.byIter[k.Iteration][k]
 	return e, ok
 }
 
 // Len returns the number of catalogued entries.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.entries)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.count
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Iteration returns all entries of one iteration, sorted by (name, source)
 // for deterministic persistence order.
 func (s *Store) Iteration(it int64) []*Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []*Entry
-	for k, e := range s.entries {
-		if k.Iteration == it {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.byIter[it] {
 			out = append(out, e)
 		}
+		sh.mu.RUnlock()
 	}
 	sortEntries(out)
 	return out
@@ -130,13 +217,14 @@ func (s *Store) Iteration(it int64) []*Entry {
 // Variable returns all entries of one variable across iterations and
 // sources, sorted by (iteration, source).
 func (s *Store) Variable(name string) []*Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []*Entry
-	for k, e := range s.entries {
-		if k.Name == name {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.byName[name] {
 			out = append(out, e)
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key.Iteration != out[j].Key.Iteration {
@@ -149,11 +237,16 @@ func (s *Store) Variable(name string) []*Entry {
 
 // Iterations lists the distinct iterations present, ascending.
 func (s *Store) Iterations() []int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	seen := make(map[int64]bool)
-	for k := range s.entries {
-		seen[k.Iteration] = true
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for it, m := range sh.byIter {
+			if len(m) > 0 {
+				seen[it] = true
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	out := make([]int64, 0, len(seen))
 	for it := range seen {
@@ -165,13 +258,14 @@ func (s *Store) Iterations() []int64 {
 
 // TotalBytes sums the payload sizes of all entries of one iteration.
 func (s *Store) TotalBytes(it int64) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var total int64
-	for k, e := range s.entries {
-		if k.Iteration == it {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.byIter[it] {
 			total += e.Size()
 		}
+		sh.mu.RUnlock()
 	}
 	return total
 }
@@ -182,16 +276,19 @@ func (s *Store) TotalBytes(it int64) int64 {
 // This is the hand-off point between the dedicated core's event loop and
 // the write-behind pipeline — the data must stay pinned in shared memory
 // until a writer has made it durable. Entries are sorted by (name, source)
-// like Iteration.
+// like Iteration; the merge across shards lands in the same order for any
+// shard count.
 func (s *Store) TakeIteration(it int64) []*Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []*Entry
-	for k, e := range s.entries {
-		if k.Iteration == it {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.byIter[it] {
 			out = append(out, e)
-			delete(s.entries, k)
+			sh.removeLocked(k, it)
 		}
+		delete(sh.byIter, it)
+		sh.mu.Unlock()
 	}
 	sortEntries(out)
 	return out
@@ -201,27 +298,48 @@ func (s *Store) TakeIteration(it int64) []*Entry {
 // shared-memory blocks, and returns how many entries were dropped. Called
 // after the iteration has been persisted.
 func (s *Store) DropIteration(it int64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for k, e := range s.entries {
-		if k.Iteration == it {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.byIter[it] {
 			e.release()
-			delete(s.entries, k)
+			sh.removeLocked(k, it)
 			n++
 		}
+		delete(sh.byIter, it)
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // Clear removes everything, releasing all shared-memory blocks.
 func (s *Store) Clear() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for k, e := range s.entries {
-		e.release()
-		delete(s.entries, k)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, m := range sh.byIter {
+			for _, e := range m {
+				e.release()
+			}
+		}
+		sh.byIter = make(map[int64]map[Key]*Entry)
+		sh.byName = make(map[string]map[Key]*Entry)
+		sh.count = 0
+		sh.mu.Unlock()
 	}
+}
+
+// removeLocked unindexes one key (byName side plus bookkeeping); the caller
+// deletes the byIter map wholesale and must hold sh.mu.
+func (sh *storeShard) removeLocked(k Key, it int64) {
+	if nm, ok := sh.byName[k.Name]; ok {
+		delete(nm, k)
+		if len(nm) == 0 {
+			delete(sh.byName, k.Name)
+		}
+	}
+	sh.count--
 }
 
 func sortEntries(es []*Entry) {

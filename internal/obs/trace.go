@@ -93,6 +93,7 @@ type Span struct {
 	Stage     Stage
 	Server    int   // world rank of the recording dedicated core; -1 when unknown
 	Origin    int   // world rank the work originated on (== Server for local spans)
+	Shard     int   // event-loop shard that recorded the span; -1 when not shard-attributed
 	Iteration int64 // iteration (or aggregation epoch); -1 when unknown
 	Start     int64 // nanoseconds since the Unix epoch
 	Dur       int64 // nanoseconds
@@ -109,6 +110,7 @@ type spanSlot struct {
 	stage  atomic.Int64
 	server atomic.Int64
 	origin atomic.Int64
+	shard  atomic.Int64
 	iter   atomic.Int64
 	start  atomic.Int64
 	dur    atomic.Int64
@@ -168,6 +170,17 @@ func (t *Tracer) Record(stage Stage, server int, iteration int64, start time.Tim
 // `server`, the rank the work came from is `origin`. Same 0-alloc,
 // lock-free guarantees as Record.
 func (t *Tracer) RecordFrom(stage Stage, server, origin int, iteration int64, start time.Time, dur time.Duration, bytes int64, isErr bool) {
+	t.record(stage, server, origin, -1, iteration, start, dur, bytes, isErr)
+}
+
+// RecordShard appends one local span attributed to an event-loop shard of
+// the recording dedicated core (shard < 0 means not shard-attributed). Same
+// 0-alloc, lock-free guarantees as Record.
+func (t *Tracer) RecordShard(stage Stage, server, shard int, iteration int64, start time.Time, dur time.Duration, bytes int64, isErr bool) {
+	t.record(stage, server, server, shard, iteration, start, dur, bytes, isErr)
+}
+
+func (t *Tracer) record(stage Stage, server, origin, shard int, iteration int64, start time.Time, dur time.Duration, bytes int64, isErr bool) {
 	if t == nil || stage >= NumStages {
 		return
 	}
@@ -177,6 +190,7 @@ func (t *Tracer) RecordFrom(stage Stage, server, origin int, iteration int64, st
 	s.stage.Store(int64(stage))
 	s.server.Store(int64(server))
 	s.origin.Store(int64(origin))
+	s.shard.Store(int64(shard))
 	s.iter.Store(iteration)
 	s.start.Store(start.UnixNano())
 	s.dur.Store(int64(dur))
@@ -238,6 +252,7 @@ func (t *Tracer) Snapshot() []Span {
 			Stage:     Stage(s.stage.Load()),
 			Server:    int(s.server.Load()),
 			Origin:    int(s.origin.Load()),
+			Shard:     int(s.shard.Load()),
 			Iteration: s.iter.Load(),
 			Start:     s.start.Load(),
 			Dur:       s.dur.Load(),
@@ -304,11 +319,14 @@ func (t *Tracer) Collect(e *Emitter) {
 
 // spanJSON is the JSONL wire form of a span. Origin is a pointer so that
 // pre-fleet trace files (no origin field) read back with Origin defaulted
-// to Server rather than zero.
+// to Server rather than zero; shard follows the same pattern — absent (the
+// pre-sharding format, or a span not attributed to an event-loop shard)
+// reads back as -1.
 type spanJSON struct {
 	Stage     string `json:"stage"`
 	Server    int    `json:"server"`
 	Origin    *int   `json:"origin,omitempty"`
+	Shard     *int   `json:"shard,omitempty"`
 	Iteration int64  `json:"iter"`
 	StartNS   int64  `json:"start_ns"`
 	DurNS     int64  `json:"dur_ns"`
@@ -328,7 +346,7 @@ func WriteSpansJSONL(w io.Writer, spans []Span) error {
 	enc := json.NewEncoder(bw)
 	for i := range spans {
 		sp := &spans[i]
-		if err := enc.Encode(spanJSON{
+		sj := spanJSON{
 			Stage:     sp.Stage.String(),
 			Server:    sp.Server,
 			Origin:    &sp.Origin,
@@ -337,7 +355,11 @@ func WriteSpansJSONL(w io.Writer, spans []Span) error {
 			DurNS:     sp.Dur,
 			Bytes:     sp.Bytes,
 			Err:       sp.Err,
-		}); err != nil {
+		}
+		if sp.Shard >= 0 {
+			sj.Shard = &sp.Shard
+		}
+		if err := enc.Encode(sj); err != nil {
 			return err
 		}
 	}
@@ -361,10 +383,15 @@ func ReadSpansJSONL(r io.Reader) ([]Span, error) {
 		if sj.Origin != nil {
 			origin = *sj.Origin
 		}
+		shard := -1
+		if sj.Shard != nil {
+			shard = *sj.Shard
+		}
 		out = append(out, Span{
 			Stage:     st,
 			Server:    sj.Server,
 			Origin:    origin,
+			Shard:     shard,
 			Iteration: sj.Iteration,
 			Start:     sj.StartNS,
 			Dur:       sj.DurNS,
@@ -404,6 +431,9 @@ func WriteSpansChrome(w io.Writer, spans []Span) error {
 	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans))}
 	for _, sp := range spans {
 		args := map[string]any{"iter": sp.Iteration, "origin": sp.Origin}
+		if sp.Shard >= 0 {
+			args["shard"] = sp.Shard
+		}
 		if sp.Bytes > 0 {
 			args["bytes"] = sp.Bytes
 		}
